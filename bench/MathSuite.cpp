@@ -1,0 +1,81 @@
+//===- bench/MathSuite.cpp - Shared Fig. 7 workload ---------------------------===//
+//
+// Part of egglog-cpp. See MathSuite.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "MathSuite.h"
+
+#include "support/SExpr.h"
+
+using namespace egglog;
+using namespace egglog::bench;
+
+namespace {
+
+/// Maps the egg operator spellings onto egglog constructor names.
+std::string egglogOp(const std::string &Op) {
+  if (Op == "+")
+    return "Add";
+  if (Op == "-")
+    return "Sub";
+  if (Op == "*")
+    return "Mul";
+  if (Op == "pow")
+    return "Pow";
+  return Op;
+}
+
+/// Renders a pattern s-expression in egglog syntax: ?v becomes v, bare
+/// object-language symbols become (Sym "name"), (Num k) is kept.
+std::string renderEgglog(const SExpr &Node) {
+  if (Node.isSymbol()) {
+    const std::string &Name = Node.Text;
+    if (!Name.empty() && Name[0] == '?')
+      return Name.substr(1);
+    return "(Sym \"" + Name + "\")";
+  }
+  if (Node.isInteger())
+    return std::to_string(Node.IntValue);
+  if (Node.isCall("Num") && Node.size() == 2)
+    return "(Num " + std::to_string(Node[1].IntValue) + ")";
+  std::string Result = "(" + egglogOp(Node[0].Text);
+  for (size_t I = 1; I < Node.size(); ++I)
+    Result += " " + renderEgglog(Node[I]);
+  return Result + ")";
+}
+
+std::string renderEgglog(const char *Source) {
+  ParseResult Parsed = parseSExprs(Source);
+  return renderEgglog(Parsed.Forms[0]);
+}
+
+} // namespace
+
+std::string egglog::bench::mathRulesEgglog() {
+  std::string Program = R"(
+    (datatype Math
+      (Num i64)
+      (Sym String)
+      (Add Math Math)
+      (Sub Math Math)
+      (Mul Math Math)
+      (Pow Math Math))
+  )";
+  for (const MathRule &Rule : mathRules()) {
+    Program += "(rewrite " + renderEgglog(Rule.Lhs) + " " +
+               renderEgglog(Rule.Rhs) + ")\n";
+  }
+  return Program;
+}
+
+std::string egglog::bench::mathSeedsEgglog() {
+  std::string Program;
+  int Index = 0;
+  for (const char *Term : mathSeedTerms()) {
+    Program +=
+        "(define t" + std::to_string(Index++) + " " + renderEgglog(Term) +
+        ")\n";
+  }
+  return Program;
+}

@@ -1,0 +1,78 @@
+//===- bench/MathSuite.h - Shared Fig. 7 workload --------------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workload of the Fig. 7 micro-benchmark: the analysis-free subset of
+/// egg's `math` rule suite together with its seed terms, expressed both
+/// for the egglog engine (surface syntax) and for the classic egg-style
+/// baseline (pattern strings). Keeping one definition ensures the systems
+/// race on identical rules, as §5.3 requires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_BENCH_MATHSUITE_H
+#define EGGLOG_BENCH_MATHSUITE_H
+
+#include <string>
+#include <vector>
+
+namespace egglog {
+namespace bench {
+
+/// One rewrite as engine-neutral pattern strings (egg conventions:
+/// ?-prefixed variables, bare symbols are nullary operators).
+struct MathRule {
+  const char *Name;
+  const char *Lhs;
+  const char *Rhs;
+};
+
+/// The analysis-free rule subset (egg's math suite minus the rules that
+/// need is-const/non-zero analyses, per §5.3).
+inline const std::vector<MathRule> &mathRules() {
+  static const std::vector<MathRule> Rules = {
+      {"comm-add", "(+ ?a ?b)", "(+ ?b ?a)"},
+      {"comm-mul", "(* ?a ?b)", "(* ?b ?a)"},
+      {"assoc-add", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"},
+      {"assoc-mul", "(* (* ?a ?b) ?c)", "(* ?a (* ?b ?c))"},
+      {"sub-canon", "(- ?a ?b)", "(+ ?a (* (Num -1) ?b))"},
+      {"zero-add", "(+ ?a (Num 0))", "?a"},
+      {"zero-mul", "(* ?a (Num 0))", "(Num 0)"},
+      {"one-mul", "(* ?a (Num 1))", "?a"},
+      {"cancel-sub", "(- ?a ?a)", "(Num 0)"},
+      {"distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))"},
+      {"factor", "(+ (* ?a ?b) (* ?a ?c))", "(* ?a (+ ?b ?c))"},
+      {"pow-mul", "(* (pow ?a ?b) (pow ?a ?c))", "(pow ?a (+ ?b ?c))"},
+  };
+  return Rules;
+}
+
+/// Seed terms (from egg's math test suite; object-language variables are
+/// the nullary operators x, y, z, a, b, c).
+inline const std::vector<const char *> &mathSeedTerms() {
+  static const std::vector<const char *> Terms = {
+      "(+ x (+ x (+ x x)))",
+      "(* (+ x y) (+ y x))",
+      "(- (+ x y) (+ x y))",
+      "(* (* x y) z)",
+      "(+ (* x (+ y (Num 1))) (* (+ y (Num 1)) x))",
+      "(- (* (+ a b) c) (* c (+ a b)))",
+      "(* (pow x (Num 2)) (pow x (Num 3)))",
+      "(+ (* a (Num 0)) (* b (Num 1)))",
+  };
+  return Terms;
+}
+
+/// The same rules in egglog surface syntax.
+std::string mathRulesEgglog();
+
+/// The same seed terms as egglog define commands (named t0, t1, ...).
+std::string mathSeedsEgglog();
+
+} // namespace bench
+} // namespace egglog
+
+#endif // EGGLOG_BENCH_MATHSUITE_H

@@ -1,0 +1,57 @@
+//===- examples/eqsat_math.cpp - Equality saturation --------------------------===//
+//
+// Part of egglog-cpp. The Fig. 4b program: prove 2*(x+3) equal to 6+2*x by
+// equality saturation, then extract an optimized form of (a*2)/2 using the
+// Fig. 2 rewrites.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Frontend.h"
+
+#include <cstdio>
+
+using namespace egglog;
+
+int main() {
+  Frontend F;
+  bool Ok = F.execute(R"(
+    (datatype Math
+      (Num i64)
+      (Var String)
+      (Add Math Math)
+      (Mul Math Math)
+      (Div Math Math)
+      (Shl Math Math))
+
+    ;; expr1 = 2 * (x + 3)
+    (define expr1 (Mul (Num 2) (Add (Var "x") (Num 3))))
+    ;; expr2 = 6 + 2 * x
+    (define expr2 (Add (Num 6) (Mul (Num 2) (Var "x"))))
+
+    (rewrite (Add a b) (Add b a))
+    (rewrite (Mul a (Add b c)) (Add (Mul a b) (Mul a c)))
+    (rewrite (Add (Num a) (Num b)) (Num (+ a b)))
+    (rewrite (Mul (Num a) (Num b)) (Num (* a b)))
+
+    ;; The Fig. 2 rules.
+    (rewrite (Mul x (Num 2)) (Shl x (Num 1)))
+    (rewrite (Div (Mul x y) z) (Mul x (Div y z)))
+    (rewrite (Div (Num a) (Num b)) (Num (/ a b)) :when ((!= b 0)))
+    (rewrite (Mul x (Num 1)) x)
+
+    (define target (Div (Mul (Var "a") (Num 2)) (Num 2)))
+
+    (run 10)
+    (check (= expr1 expr2))
+    (extract target)
+  )");
+  if (!Ok) {
+    std::fprintf(stderr, "equality saturation failed: %s\n",
+                 F.error().c_str());
+    return 1;
+  }
+  std::printf("Fig. 4b: proved 2*(x+3) == 6+2*x by saturation.\n");
+  std::printf("Fig. 2:  (a*2)/2 extracts to %s.\n",
+              F.outputs().back().c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- examples/pointer_analysis.cpp - Unification in Datalog -----------------===//
+//
+// Part of egglog-cpp. Two views of §6.1: first the Fig. 4a node-contraction
+// program (unification creates paths that did not exist before), then a
+// real Steensgaard points-to run over a generated program using the
+// pointsto library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Frontend.h"
+#include "pointsto/Analyses.h"
+
+#include <cstdio>
+
+using namespace egglog;
+
+int main() {
+  // --- Fig. 4a: vertex contraction via union. ----------------------------
+  Frontend F;
+  bool Ok = F.execute(R"(
+    (sort Node)
+    (function mk (i64) Node)
+    (relation edge (Node Node))
+    (relation path (Node Node))
+
+    (rule ((edge x y))
+          ((path x y)))
+    (rule ((path x y) (edge y z))
+          ((path x z)))
+
+    (edge (mk 1) (mk 2))
+    (edge (mk 2) (mk 3))
+    (edge (mk 5) (mk 6))
+    (union (mk 3) (mk 5))
+
+    (run)
+    (check (edge (mk 3) (mk 6)))
+    (check (path (mk 1) (mk 6)))
+  )");
+  if (!Ok) {
+    std::fprintf(stderr, "node contraction failed: %s\n", F.error().c_str());
+    return 1;
+  }
+  std::printf("Fig. 4a: after (union (mk 3) (mk 5)), node 1 reaches node "
+              "6.\n");
+
+  // --- Steensgaard analysis over a synthetic program. ---------------------
+  pointsto::GeneratorOptions Opts;
+  Opts.Seed = 99;
+  Opts.Size = 400;
+  pointsto::Program Prog = pointsto::generateProgram("demo", Opts);
+  pointsto::AnalysisResult Result =
+      pointsto::runPointsTo(Prog, pointsto::System::Egglog);
+  if (Result.TimedOut) {
+    std::fprintf(stderr, "analysis timed out unexpectedly\n");
+    return 1;
+  }
+  std::printf("Steensgaard over %zu instructions (%u vars, %u allocation "
+              "sites):\n",
+              Prog.numInstructions(), Prog.NumVars, Prog.numAllAllocs());
+  std::printf("  %zu allocation classes, computed in %.3fs with the native "
+              "egglog encoding.\n",
+              Result.numClasses(), Result.Seconds);
+  return 0;
+}

@@ -1,0 +1,155 @@
+//===- core/Ast.h - Typed rule and action representation -------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed internal representation produced by the typechecker from the
+/// surface s-expression syntax (§3). A rule is a flattened conjunctive
+/// query (function atoms plus primitive computations) and a list of
+/// actions, matching the "query and actions" reading of egglog rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_CORE_AST_H
+#define EGGLOG_CORE_AST_H
+
+#include "core/Value.h"
+
+#include <string>
+#include <vector>
+
+namespace egglog {
+
+/// A typed expression tree used in actions, merge expressions, and default
+/// expressions.
+struct TypedExpr {
+  enum class Kind {
+    Var,      ///< A rule variable (Index is the variable slot).
+    Lit,      ///< A constant (Lit holds the value).
+    FuncCall, ///< A call to a declared egglog function (get-or-default).
+    PrimCall, ///< A call to a builtin primitive.
+  };
+
+  Kind ExprKind = Kind::Lit;
+  SortId Type = 0;
+  /// Variable slot, FunctionId, or primitive id depending on ExprKind.
+  uint32_t Index = 0;
+  Value Literal;
+  std::vector<TypedExpr> Args;
+
+  static TypedExpr makeVar(uint32_t Slot, SortId Type) {
+    TypedExpr E;
+    E.ExprKind = Kind::Var;
+    E.Index = Slot;
+    E.Type = Type;
+    return E;
+  }
+  static TypedExpr makeLit(Value V) {
+    TypedExpr E;
+    E.ExprKind = Kind::Lit;
+    E.Literal = V;
+    E.Type = V.Sort;
+    return E;
+  }
+  static TypedExpr makeCall(Kind K, uint32_t Index, SortId Type,
+                            std::vector<TypedExpr> Args) {
+    TypedExpr E;
+    E.ExprKind = K;
+    E.Index = Index;
+    E.Type = Type;
+    E.Args = std::move(Args);
+    return E;
+  }
+};
+
+/// Either a rule variable slot or a constant; the leaves of flattened
+/// query atoms.
+struct VarOrConst {
+  bool IsVar = false;
+  uint32_t Var = 0;
+  Value Const;
+
+  static VarOrConst makeVar(uint32_t Slot) {
+    VarOrConst T;
+    T.IsVar = true;
+    T.Var = Slot;
+    return T;
+  }
+  static VarOrConst makeConst(Value V) {
+    VarOrConst T;
+    T.IsVar = false;
+    T.Const = V;
+    return T;
+  }
+};
+
+/// One flattened atom of a query: function \p Func applied to the first
+/// numKeys() terms, producing the last term. From the relational view this
+/// is a relation of arity numKeys()+1.
+struct QueryAtom {
+  FunctionId Func = 0;
+  std::vector<VarOrConst> Terms;
+};
+
+/// A primitive evaluation scheduled inside a query. Once all argument
+/// variables are bound, the primitive runs; if Out is a constant the result
+/// must equal it (filter), and if Out is an unbound variable the result is
+/// bound to it (computation).
+struct PrimComputation {
+  uint32_t Prim = 0;
+  std::vector<VarOrConst> Args;
+  VarOrConst Out;
+};
+
+/// A flattened conjunctive query (the body of a rule).
+struct Query {
+  uint32_t NumVars = 0;
+  std::vector<SortId> VarSorts;
+  std::vector<QueryAtom> Atoms;
+  std::vector<PrimComputation> Prims;
+};
+
+/// One action in a rule head (or a top-level command action).
+struct Action {
+  enum class Kind {
+    Let,    ///< Bind variable Var to the value of Expr.
+    Set,    ///< (set (f args...) value): Func, Args, Expr = value.
+    Union,  ///< (union a b): Expr, Expr2.
+    Panic,  ///< Abort evaluation with Message.
+    Eval,   ///< Evaluate Expr for its side effects (term insertion).
+    Delete, ///< (delete (f args...)): remove the entry for the key tuple.
+  };
+
+  Kind ActKind = Kind::Eval;
+  FunctionId Func = 0;
+  uint32_t Var = 0;
+  std::vector<TypedExpr> Args;
+  TypedExpr Expr;
+  TypedExpr Expr2;
+  std::string Message;
+};
+
+/// A complete rule: when the query matches, run the actions under the
+/// resulting substitution.
+struct Rule {
+  std::string Name;
+  Query Body;
+  std::vector<Action> Actions;
+  /// Total variable slots (query variables followed by action lets).
+  uint32_t NumSlots = 0;
+};
+
+/// A ground fact to verify with (check ...): either that a term is present
+/// in the database, or that two terms evaluate to equal values.
+struct CheckFact {
+  enum class Kind { Present, Equal, NotEqual };
+  Kind FactKind = Kind::Present;
+  TypedExpr Lhs;
+  TypedExpr Rhs;
+};
+
+} // namespace egglog
+
+#endif // EGGLOG_CORE_AST_H

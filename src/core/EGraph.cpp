@@ -1,0 +1,492 @@
+//===- core/EGraph.cpp - The egglog database -------------------------------===//
+//
+// Part of egglog-cpp. See EGraph.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EGraph.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+using namespace egglog;
+
+EGraph::EGraph() { registerBuiltinPrimitives(Prims); }
+
+//===----------------------------------------------------------------------===
+// Sorts and functions
+//===----------------------------------------------------------------------===
+
+SortId EGraph::declareSort(const std::string &Name) {
+  return SortsTable.declareUserSort(Name);
+}
+
+SortId EGraph::declareSetSort(const std::string &Name, SortId Element) {
+  SortId Id = SortsTable.declareSetSort(Name, Element);
+  registerSetPrimitives(Id);
+  return Id;
+}
+
+FunctionId EGraph::declareFunction(FunctionDecl Decl) {
+  assert(FunctionNames.find(Decl.Name) == FunctionNames.end() &&
+         "function redeclared");
+  FunctionId Id = static_cast<FunctionId>(Functions.size());
+  auto Info = std::make_unique<FunctionInfo>();
+  Info->Storage = std::make_unique<Table>(Decl.ArgSorts.size());
+  Info->Decl = std::move(Decl);
+  FunctionNames.emplace(Info->Decl.Name, Id);
+  Functions.push_back(std::move(Info));
+  return Id;
+}
+
+bool EGraph::lookupFunctionName(const std::string &Name,
+                                FunctionId &Out) const {
+  auto It = FunctionNames.find(Name);
+  if (It == FunctionNames.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// Value construction
+//===----------------------------------------------------------------------===
+
+Value EGraph::mkF64(double D) const {
+  return Value(SortTable::F64Sort, std::bit_cast<uint64_t>(D));
+}
+
+double EGraph::valueToF64(Value V) const {
+  return std::bit_cast<double>(V.Bits);
+}
+
+Value EGraph::mkString(const std::string &S) {
+  return Value(SortTable::StringSort, Strings.intern(S));
+}
+
+const std::string &EGraph::valueToString(Value V) const {
+  return Strings.lookup(static_cast<uint32_t>(V.Bits));
+}
+
+Value EGraph::mkRational(const Rational &R) {
+  return Value(SortTable::RationalSort, Rationals.intern(R));
+}
+
+const Rational &EGraph::valueToRational(Value V) const {
+  return Rationals.lookup(static_cast<uint32_t>(V.Bits));
+}
+
+Value EGraph::mkSet(SortId SetSort, std::vector<Value> Elements) {
+  assert(SortsTable.kind(SetSort) == SortKind::Set && "not a set sort");
+  for (Value &Element : Elements)
+    Element = canonicalize(Element);
+  std::sort(Elements.begin(), Elements.end());
+  Elements.erase(std::unique(Elements.begin(), Elements.end()),
+                 Elements.end());
+  return Value(SetSort, Sets.intern(Elements));
+}
+
+const std::vector<Value> &EGraph::valueToSet(Value V) const {
+  return Sets.lookup(static_cast<uint32_t>(V.Bits));
+}
+
+Value EGraph::freshId(SortId Sort) {
+  assert(SortsTable.isIdSort(Sort) && "fresh id of a non-id sort");
+  return Value(Sort, UF.makeSet());
+}
+
+//===----------------------------------------------------------------------===
+// Canonicalization
+//===----------------------------------------------------------------------===
+
+Value EGraph::canonicalize(Value V) {
+  switch (SortsTable.kind(V.Sort)) {
+  case SortKind::User:
+    return Value(V.Sort, UF.find(V.Bits));
+  case SortKind::Set: {
+    const std::vector<Value> &Elements = valueToSet(V);
+    bool Dirty = false;
+    for (const Value &Element : Elements) {
+      if (canonicalize(Element) != Element) {
+        Dirty = true;
+        break;
+      }
+    }
+    if (!Dirty)
+      return V;
+    return mkSet(V.Sort, Elements);
+  }
+  default:
+    return V;
+  }
+}
+
+bool EGraph::canonicalizeRow(Value *Row, unsigned Width) {
+  bool Changed = false;
+  for (unsigned I = 0; I < Width; ++I) {
+    Value Canonical = canonicalize(Row[I]);
+    if (Canonical != Row[I]) {
+      Row[I] = Canonical;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===
+// Database operations
+//===----------------------------------------------------------------------===
+
+std::optional<Value> EGraph::lookup(FunctionId Func, const Value *Args) {
+  FunctionInfo &Info = *Functions[Func];
+  unsigned NumKeys = Info.numKeys();
+  std::vector<Value> Canonical(Args, Args + NumKeys);
+  canonicalizeRow(Canonical.data(), NumKeys);
+  return Info.Storage->lookup(Canonical.data());
+}
+
+bool EGraph::getOrCreate(FunctionId Func, const Value *Args, Value &Out) {
+  FunctionInfo &Info = *Functions[Func];
+  unsigned NumKeys = Info.numKeys();
+  std::vector<Value> Canonical(Args, Args + NumKeys);
+  canonicalizeRow(Canonical.data(), NumKeys);
+  if (std::optional<Value> Existing = Info.Storage->lookup(Canonical.data())) {
+    Out = *Existing;
+    return true;
+  }
+  SortId OutSort = Info.Decl.OutSort;
+  if (Info.Decl.DefaultExpr) {
+    std::vector<Value> Env;
+    if (!evalExpr(*Info.Decl.DefaultExpr, Env, Out, /*CreateTerms=*/true))
+      return false;
+    Out = canonicalize(Out);
+  } else if (SortsTable.isIdSort(OutSort)) {
+    Out = freshId(OutSort);
+  } else if (SortsTable.kind(OutSort) == SortKind::Unit) {
+    Out = mkUnit();
+  } else {
+    reportError("function '" + Info.Decl.Name +
+                "' has no default for a missing entry");
+    return false;
+  }
+  // Re-check: evaluating the default may have populated the entry.
+  if (std::optional<Value> Existing = Info.Storage->lookup(Canonical.data())) {
+    Out = *Existing;
+    return true;
+  }
+  Info.Storage->insert(Canonical.data(), Out, Timestamp);
+  return true;
+}
+
+bool EGraph::setValue(FunctionId Func, const Value *Args, Value Out) {
+  FunctionInfo &Info = *Functions[Func];
+  unsigned NumKeys = Info.numKeys();
+  std::vector<Value> Canonical(Args, Args + NumKeys);
+  canonicalizeRow(Canonical.data(), NumKeys);
+  Out = canonicalize(Out);
+
+  std::optional<Value> Existing = Info.Storage->lookup(Canonical.data());
+  if (!Existing) {
+    Info.Storage->insert(Canonical.data(), Out, Timestamp);
+    return true;
+  }
+  Value Old = canonicalize(*Existing);
+  if (Old == Out) {
+    // Keep the stored copy canonical without creating a delta row.
+    return true;
+  }
+
+  // Resolve the functional dependency violation via the merge semantics
+  // (§3.2): a merge expression if declared, union for id sorts, and a hard
+  // conflict otherwise.
+  Value Merged;
+  if (Info.Decl.MergeExpr) {
+    std::vector<Value> Env = {Old, Out};
+    if (!evalExpr(*Info.Decl.MergeExpr, Env, Merged, /*CreateTerms=*/true))
+      return false;
+    Merged = canonicalize(Merged);
+  } else if (SortsTable.isIdSort(Info.Decl.OutSort)) {
+    Merged = unionValues(Old, Out);
+  } else if (SortsTable.kind(Info.Decl.OutSort) == SortKind::Unit) {
+    return true;
+  } else {
+    reportError("merge conflict on function '" + Info.Decl.Name +
+                "' without a :merge expression");
+    return false;
+  }
+  if (Merged != Old)
+    Info.Storage->insert(Canonical.data(), Merged, Timestamp);
+  return true;
+}
+
+Value EGraph::unionValues(Value A, Value B) {
+  assert(A.Sort == B.Sort && "union of values of different sorts");
+  assert(SortsTable.isIdSort(A.Sort) && "union of non-id values");
+  uint64_t RootA = UF.find(A.Bits), RootB = UF.find(B.Bits);
+  if (RootA == RootB)
+    return Value(A.Sort, RootA);
+  uint64_t Root = UF.unite(RootA, RootB);
+  UnionsDirty = true;
+  return Value(A.Sort, Root);
+}
+
+unsigned EGraph::rebuild() {
+  unsigned Passes = 0;
+  std::vector<Value> Buffer;
+  bool Changed = true;
+  while (Changed && !Failed) {
+    Changed = false;
+    ++Passes;
+    for (auto &InfoPtr : Functions) {
+      Table &T = *InfoPtr->Storage;
+      unsigned Width = T.rowWidth();
+      size_t Limit = T.rowCount();
+      for (size_t Row = 0; Row < Limit; ++Row) {
+        if (!T.isLive(Row))
+          continue;
+        Buffer.assign(T.row(Row), T.row(Row) + Width);
+        if (!canonicalizeRow(Buffer.data(), Width))
+          continue;
+        // The row is stale: remove it and reinsert canonically (which may
+        // trigger the merge expression on a collision).
+        T.erase(T.row(Row));
+        FunctionId Func = static_cast<FunctionId>(&InfoPtr - &Functions[0]);
+        if (!setValue(Func, Buffer.data(), Buffer[Width - 1]))
+          return Passes;
+        Changed = true;
+      }
+    }
+  }
+  UnionsDirty = false;
+  return Passes;
+}
+
+//===----------------------------------------------------------------------===
+// Expression and action evaluation
+//===----------------------------------------------------------------------===
+
+bool EGraph::evalExpr(const TypedExpr &Expr, const std::vector<Value> &Env,
+                      Value &Out, bool CreateTerms) {
+  switch (Expr.ExprKind) {
+  case TypedExpr::Kind::Var:
+    assert(Expr.Index < Env.size() && "unbound variable slot");
+    Out = Env[Expr.Index];
+    return true;
+  case TypedExpr::Kind::Lit:
+    Out = Expr.Literal;
+    return true;
+  case TypedExpr::Kind::PrimCall: {
+    std::vector<Value> Args(Expr.Args.size());
+    for (size_t I = 0; I < Expr.Args.size(); ++I)
+      if (!evalExpr(Expr.Args[I], Env, Args[I], CreateTerms))
+        return false;
+    return Prims.get(Expr.Index).Apply(*this, Args.data(), Out);
+  }
+  case TypedExpr::Kind::FuncCall: {
+    std::vector<Value> Args(Expr.Args.size());
+    for (size_t I = 0; I < Expr.Args.size(); ++I)
+      if (!evalExpr(Expr.Args[I], Env, Args[I], CreateTerms))
+        return false;
+    if (CreateTerms)
+      return getOrCreate(Expr.Index, Args.data(), Out);
+    std::optional<Value> Existing = lookup(Expr.Index, Args.data());
+    if (!Existing)
+      return false;
+    Out = canonicalize(*Existing);
+    return true;
+  }
+  }
+  return false;
+}
+
+bool EGraph::runActions(const std::vector<Action> &Actions,
+                        std::vector<Value> &Env) {
+  for (const Action &Act : Actions) {
+    switch (Act.ActKind) {
+    case Action::Kind::Let: {
+      Value Result;
+      if (!evalExpr(Act.Expr, Env, Result))
+        return false;
+      assert(Act.Var < Env.size() && "let target out of range");
+      Env[Act.Var] = Result;
+      break;
+    }
+    case Action::Kind::Set: {
+      std::vector<Value> Args(Act.Args.size());
+      for (size_t I = 0; I < Act.Args.size(); ++I)
+        if (!evalExpr(Act.Args[I], Env, Args[I]))
+          return false;
+      Value Result;
+      if (!evalExpr(Act.Expr, Env, Result))
+        return false;
+      if (!setValue(Act.Func, Args.data(), Result))
+        return false;
+      break;
+    }
+    case Action::Kind::Union: {
+      Value Lhs, Rhs;
+      if (!evalExpr(Act.Expr, Env, Lhs) || !evalExpr(Act.Expr2, Env, Rhs))
+        return false;
+      unionValues(Lhs, Rhs);
+      break;
+    }
+    case Action::Kind::Panic:
+      reportError("panic: " + Act.Message);
+      return false;
+    case Action::Kind::Eval: {
+      Value Ignored;
+      if (!evalExpr(Act.Expr, Env, Ignored))
+        return false;
+      break;
+    }
+    case Action::Kind::Delete: {
+      std::vector<Value> Args(Act.Args.size());
+      for (size_t I = 0; I < Act.Args.size(); ++I)
+        if (!evalExpr(Act.Args[I], Env, Args[I]))
+          return false;
+      canonicalizeRow(Args.data(), Args.size());
+      Value Dummy;
+      Functions[Act.Func]->Storage->erase(Args.empty() ? &Dummy
+                                                       : Args.data());
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+bool EGraph::checkFact(const CheckFact &Fact) {
+  std::vector<Value> Env;
+  switch (Fact.FactKind) {
+  case CheckFact::Kind::Present: {
+    Value Ignored;
+    return evalExpr(Fact.Lhs, Env, Ignored, /*CreateTerms=*/false);
+  }
+  case CheckFact::Kind::Equal: {
+    Value Lhs, Rhs;
+    if (!evalExpr(Fact.Lhs, Env, Lhs, /*CreateTerms=*/false) ||
+        !evalExpr(Fact.Rhs, Env, Rhs, /*CreateTerms=*/false))
+      return false;
+    return valueEqual(Lhs, Rhs);
+  }
+  case CheckFact::Kind::NotEqual: {
+    Value Lhs, Rhs;
+    if (!evalExpr(Fact.Lhs, Env, Lhs, /*CreateTerms=*/false) ||
+        !evalExpr(Fact.Rhs, Env, Rhs, /*CreateTerms=*/false))
+      return false;
+    return !valueEqual(Lhs, Rhs);
+  }
+  }
+  return false;
+}
+
+size_t EGraph::liveTupleCount() const {
+  size_t Total = 0;
+  for (const auto &Info : Functions)
+    Total += Info->Storage->liveCount();
+  return Total;
+}
+
+//===----------------------------------------------------------------------===
+// Set primitives
+//===----------------------------------------------------------------------===
+
+void EGraph::registerSetPrimitives(SortId SetSort) {
+  SortId Element = SortsTable.info(SetSort).Element;
+  auto SetOf = [SetSort](std::vector<Value> Elements, EGraph &G) {
+    return G.mkSet(SetSort, std::move(Elements));
+  };
+
+  Prims.add(Primitive{"set-empty", {}, SetSort,
+                      [SetOf](EGraph &G, const Value *, Value &Out) {
+                        Out = SetOf({}, G);
+                        return true;
+                      }});
+  Prims.add(Primitive{"set-singleton",
+                      {Element},
+                      SetSort,
+                      [SetOf](EGraph &G, const Value *Args, Value &Out) {
+                        Out = SetOf({Args[0]}, G);
+                        return true;
+                      }});
+  Prims.add(Primitive{"set-insert",
+                      {SetSort, Element},
+                      SetSort,
+                      [SetOf](EGraph &G, const Value *Args, Value &Out) {
+                        std::vector<Value> Elements = G.valueToSet(Args[0]);
+                        Elements.push_back(Args[1]);
+                        Out = SetOf(std::move(Elements), G);
+                        return true;
+                      }});
+  Prims.add(Primitive{"set-remove",
+                      {SetSort, Element},
+                      SetSort,
+                      [SetOf](EGraph &G, const Value *Args, Value &Out) {
+                        std::vector<Value> Elements;
+                        Value Needle = G.canonicalize(Args[1]);
+                        for (Value V : G.valueToSet(G.canonicalize(Args[0])))
+                          if (G.canonicalize(V) != Needle)
+                            Elements.push_back(V);
+                        Out = SetOf(std::move(Elements), G);
+                        return true;
+                      }});
+  Prims.add(Primitive{"set-union",
+                      {SetSort, SetSort},
+                      SetSort,
+                      [SetOf](EGraph &G, const Value *Args, Value &Out) {
+                        std::vector<Value> Elements = G.valueToSet(Args[0]);
+                        const std::vector<Value> &Other = G.valueToSet(Args[1]);
+                        Elements.insert(Elements.end(), Other.begin(),
+                                        Other.end());
+                        Out = SetOf(std::move(Elements), G);
+                        return true;
+                      }});
+  Prims.add(Primitive{"set-intersect",
+                      {SetSort, SetSort},
+                      SetSort,
+                      [SetOf](EGraph &G, const Value *Args, Value &Out) {
+                        Value A = G.canonicalize(Args[0]);
+                        Value B = G.canonicalize(Args[1]);
+                        const std::vector<Value> &Bs = G.valueToSet(B);
+                        std::vector<Value> Elements;
+                        for (Value V : G.valueToSet(A))
+                          if (std::binary_search(Bs.begin(), Bs.end(), V))
+                            Elements.push_back(V);
+                        Out = SetOf(std::move(Elements), G);
+                        return true;
+                      }});
+  Prims.add(Primitive{"set-contains",
+                      {SetSort, Element},
+                      SortTable::BoolSort,
+                      [](EGraph &G, const Value *Args, Value &Out) {
+                        Value A = G.canonicalize(Args[0]);
+                        Value Needle = G.canonicalize(Args[1]);
+                        const std::vector<Value> &Elements = G.valueToSet(A);
+                        bool Found = std::binary_search(Elements.begin(),
+                                                        Elements.end(), Needle);
+                        Out = G.mkBool(Found);
+                        return true;
+                      }});
+  Prims.add(Primitive{"set-not-contains",
+                      {SetSort, Element},
+                      SortTable::BoolSort,
+                      [](EGraph &G, const Value *Args, Value &Out) {
+                        Value A = G.canonicalize(Args[0]);
+                        Value Needle = G.canonicalize(Args[1]);
+                        const std::vector<Value> &Elements = G.valueToSet(A);
+                        bool Found = std::binary_search(Elements.begin(),
+                                                        Elements.end(), Needle);
+                        Out = G.mkBool(!Found);
+                        return true;
+                      }});
+  Prims.add(Primitive{"set-length",
+                      {SetSort},
+                      SortTable::I64Sort,
+                      [](EGraph &G, const Value *Args, Value &Out) {
+                        Value A = G.canonicalize(Args[0]);
+                        Out = G.mkI64(
+                            static_cast<int64_t>(G.valueToSet(A).size()));
+                        return true;
+                      }});
+}

@@ -1,0 +1,240 @@
+//===- core/EGraph.h - The egglog database ---------------------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The egglog database: a collection of functional tables over values, a
+/// global union-find over uninterpreted ids, interning pools for strings,
+/// rationals and sets, and the rebuilding procedure of §5.1 that restores
+/// functional dependencies after unions by invoking merge expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_CORE_EGRAPH_H
+#define EGGLOG_CORE_EGRAPH_H
+
+#include "core/Ast.h"
+#include "core/Primitives.h"
+#include "core/Sorts.h"
+#include "core/Table.h"
+#include "core/UnionFind.h"
+#include "support/Interner.h"
+#include "support/Rational.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace egglog {
+
+/// Declaration payload for a new egglog function.
+struct FunctionDecl {
+  std::string Name;
+  std::vector<SortId> ArgSorts;
+  SortId OutSort = 0;
+  /// Merge expression over two slots: 0 = old, 1 = new. If absent, the
+  /// default merge applies (union for id sorts, no-op for Unit, conflict
+  /// error otherwise).
+  std::optional<TypedExpr> MergeExpr;
+  /// Default expression evaluated by get-or-default when the key is absent.
+  /// If absent, id sorts default to a fresh id ("make-set") and other sorts
+  /// make the lookup fail (matching §3.3: "for base types the default
+  /// :default is to crash").
+  std::optional<TypedExpr> DefaultExpr;
+  /// Extraction cost of one application of this function.
+  int64_t Cost = 1;
+};
+
+/// Runtime record for a declared function.
+struct FunctionInfo {
+  FunctionDecl Decl;
+  std::unique_ptr<Table> Storage;
+
+  unsigned numKeys() const { return Decl.ArgSorts.size(); }
+};
+
+/// Hash functor for interned sets.
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value> &Values) const {
+    size_t Hash = 0x12345;
+    for (const Value &V : Values)
+      Hash = hashCombine(Hash, V.hash());
+    return Hash;
+  }
+};
+
+/// std::hash-style adapter so Rational can be interned.
+struct RationalStdHash {
+  size_t operator()(const Rational &R) const { return R.hash(); }
+};
+
+/// The egglog database. All mutation goes through set/union/get-or-default
+/// so the rebuild invariant (everything canonical, functional dependencies
+/// hold) can be restored by rebuild().
+class EGraph {
+public:
+  EGraph();
+
+  SortTable &sorts() { return SortsTable; }
+  const SortTable &sorts() const { return SortsTable; }
+  UnionFind &unionFind() { return UF; }
+  PrimitiveRegistry &primitives() { return Prims; }
+  const PrimitiveRegistry &primitives() const { return Prims; }
+  StringInterner &strings() { return Strings; }
+
+  //===--------------------------------------------------------------------===
+  // Sorts and functions
+  //===--------------------------------------------------------------------===
+
+  /// Declares a user sort.
+  SortId declareSort(const std::string &Name);
+
+  /// Declares a set sort over \p Element and registers its primitives.
+  SortId declareSetSort(const std::string &Name, SortId Element);
+
+  /// Declares a function; the name must be fresh.
+  FunctionId declareFunction(FunctionDecl Decl);
+
+  /// Finds a function by name.
+  bool lookupFunctionName(const std::string &Name, FunctionId &Out) const;
+
+  const FunctionInfo &function(FunctionId Id) const { return *Functions[Id]; }
+  size_t numFunctions() const { return Functions.size(); }
+
+  //===--------------------------------------------------------------------===
+  // Value construction
+  //===--------------------------------------------------------------------===
+
+  Value mkUnit() const { return Value(SortTable::UnitSort, 0); }
+  Value mkBool(bool B) const { return Value(SortTable::BoolSort, B ? 1 : 0); }
+  Value mkI64(int64_t I) const {
+    return Value(SortTable::I64Sort, static_cast<uint64_t>(I));
+  }
+  Value mkF64(double D) const;
+  Value mkString(const std::string &S);
+  Value mkRational(const Rational &R);
+  /// Interns a set value (elements are canonicalized, sorted, deduped).
+  Value mkSet(SortId SetSort, std::vector<Value> Elements);
+
+  int64_t valueToI64(Value V) const { return static_cast<int64_t>(V.Bits); }
+  double valueToF64(Value V) const;
+  const std::string &valueToString(Value V) const;
+  const Rational &valueToRational(Value V) const;
+  const std::vector<Value> &valueToSet(Value V) const;
+
+  /// Creates a fresh uninterpreted id of the given user sort.
+  Value freshId(SortId Sort);
+
+  //===--------------------------------------------------------------------===
+  // Canonicalization
+  //===--------------------------------------------------------------------===
+
+  /// Canonicalizes a value under the current equivalence relation. For user
+  /// sorts this is union-find lookup; for sets it recanonicalizes elements.
+  Value canonicalize(Value V);
+
+  /// Returns true if two values are equal modulo the equivalence relation.
+  bool valueEqual(Value A, Value B) { return canonicalize(A) == canonicalize(B); }
+
+  //===--------------------------------------------------------------------===
+  // Database operations
+  //===--------------------------------------------------------------------===
+
+  /// Looks up f(args); canonicalizes arguments first.
+  std::optional<Value> lookup(FunctionId Func, const Value *Args);
+
+  /// "get-or-default" (§3.3): looks up f(args); if absent, evaluates the
+  /// default (or makes a fresh id for id sorts), stores it, and returns it.
+  /// Returns false if the function has no viable default.
+  bool getOrCreate(FunctionId Func, const Value *Args, Value &Out);
+
+  /// (set (f args) out): inserts or merges with the existing output via the
+  /// function's merge semantics. Returns false on a merge conflict error.
+  bool setValue(FunctionId Func, const Value *Args, Value Out);
+
+  /// Unions two values of the same user sort; returns the canonical result.
+  Value unionValues(Value A, Value B);
+
+  /// Restores all invariants: canonical values everywhere, no functional
+  /// dependency violations (§5.1). Returns the number of passes.
+  unsigned rebuild();
+
+  /// True if unions have happened since the last rebuild.
+  bool needsRebuild() const { return UnionsDirty; }
+
+  //===--------------------------------------------------------------------===
+  // Expression and action evaluation
+  //===--------------------------------------------------------------------===
+
+  /// Evaluates a typed expression under the environment. If \p CreateTerms
+  /// is true, function calls use get-or-default semantics (inserting new
+  /// terms); otherwise missing entries make evaluation fail.
+  bool evalExpr(const TypedExpr &Expr, const std::vector<Value> &Env,
+                Value &Out, bool CreateTerms = true);
+
+  /// Runs a list of actions under the environment (which must have
+  /// capacity for all let-bound slots). Returns false on failure.
+  bool runActions(const std::vector<Action> &Actions, std::vector<Value> &Env);
+
+  /// Checks one ground fact (for the check command).
+  bool checkFact(const CheckFact &Fact);
+
+  //===--------------------------------------------------------------------===
+  // Timestamps and statistics
+  //===--------------------------------------------------------------------===
+
+  uint32_t timestamp() const { return Timestamp; }
+  void bumpTimestamp() { ++Timestamp; }
+
+  /// Total live tuples across all functions (the paper's "e-node count"
+  /// for Fig. 7 when restricted to constructor tables; we report all).
+  size_t liveTupleCount() const;
+
+  /// Live tuples in one function.
+  size_t functionSize(FunctionId Func) const {
+    return Functions[Func]->Storage->liveCount();
+  }
+
+  //===--------------------------------------------------------------------===
+  // Error reporting
+  //===--------------------------------------------------------------------===
+
+  bool failed() const { return Failed; }
+  const std::string &errorMessage() const { return ErrorMsg; }
+  void reportError(const std::string &Message) {
+    if (Failed)
+      return;
+    Failed = true;
+    ErrorMsg = Message;
+  }
+  void clearError() {
+    Failed = false;
+    ErrorMsg.clear();
+  }
+
+private:
+  SortTable SortsTable;
+  UnionFind UF;
+  StringInterner Strings;
+  ValueInterner<Rational, RationalStdHash> Rationals;
+  ValueInterner<std::vector<Value>, ValueVecHash> Sets;
+  PrimitiveRegistry Prims;
+  std::vector<std::unique_ptr<FunctionInfo>> Functions;
+  std::unordered_map<std::string, FunctionId> FunctionNames;
+  uint32_t Timestamp = 0;
+  bool UnionsDirty = false;
+  bool Failed = false;
+  std::string ErrorMsg;
+
+  /// Canonicalizes a row in place; returns true if anything changed.
+  bool canonicalizeRow(Value *Row, unsigned Width);
+
+  void registerSetPrimitives(SortId SetSort);
+};
+
+} // namespace egglog
+
+#endif // EGGLOG_CORE_EGRAPH_H

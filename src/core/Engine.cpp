@@ -1,0 +1,170 @@
+//===- core/Engine.cpp - Fixpoint rule engine --------------------------------===//
+//
+// Part of egglog-cpp. See Engine.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+
+#include "core/Query.h"
+#include "support/Timer.h"
+
+using namespace egglog;
+
+size_t Engine::addRule(Rule R) {
+  Rules.push_back(std::move(R));
+  States.push_back(RuleState{});
+  return Rules.size() - 1;
+}
+
+RunReport Engine::run(const RunOptions &Options) {
+  RunReport Report;
+  Timer Total;
+
+  // Top-level unions between runs leave the database non-canonical; queries
+  // require canonical form.
+  if (Graph.needsRebuild())
+    Graph.rebuild();
+
+  for (unsigned Iter = 0; Iter < Options.Iterations; ++Iter) {
+    ++GlobalIteration;
+    IterationStats Stats;
+    Timer Phase;
+
+    // Track database size before this iteration to detect saturation.
+    size_t RowsBefore = 0;
+    for (size_t F = 0; F < Graph.numFunctions(); ++F)
+      RowsBefore += Graph.function(F).Storage->rowCount();
+    uint64_t UnionsBefore = Graph.unionFind().unionCount();
+
+    //=== Search phase: collect matches for every runnable rule. ===========
+    std::vector<std::vector<std::vector<Value>>> AllMatches(Rules.size());
+    bool AnyBanned = false;
+    for (size_t R = 0; R < Rules.size(); ++R) {
+      RuleState &State = States[R];
+      if (Options.UseBackoff && GlobalIteration < State.BannedUntil) {
+        AnyBanned = true;
+        continue;
+      }
+      const Rule &TheRule = Rules[R];
+      const Query &Body = TheRule.Body;
+      std::vector<std::vector<Value>> &Matches = AllMatches[R];
+      auto Collect = [&Matches](const std::vector<Value> &Env) {
+        Matches.push_back(Env);
+      };
+
+      // BackOff threshold: collection aborts as soon as a rule exceeds it
+      // (the matches would be dropped anyway, and collecting them all can
+      // exhaust memory on explosive rule sets).
+      uint64_t Threshold =
+          Options.UseBackoff
+              ? (Options.BackoffMatchLimit << State.TimesBanned)
+              : UINT64_MAX;
+      auto TimedOutNow = [&] {
+        return Options.TimeoutSeconds > 0 &&
+               Total.seconds() > Options.TimeoutSeconds;
+      };
+      std::function<bool()> Cancel = [&] {
+        return TimedOutNow() || Matches.size() > Threshold;
+      };
+      size_t NumAtoms = Body.Atoms.size();
+      bool Incremental =
+          Options.SemiNaive && State.DeltaStart > 0 && NumAtoms > 0;
+      if (!Incremental) {
+        executeQuery(Graph, Body, {}, 0, Collect, Options.GenericJoin,
+                     &Cancel);
+      } else {
+        // Expand into one delta rule per atom: atom j restricted to New,
+        // atoms before j to Old, atoms after j unrestricted (§4.3).
+        std::vector<AtomFilter> Filters(NumAtoms, AtomFilter::All);
+        for (size_t J = 0; J < NumAtoms && !Cancel(); ++J) {
+          for (size_t K = 0; K < NumAtoms; ++K)
+            Filters[K] = K < J ? AtomFilter::Old
+                               : (K == J ? AtomFilter::New : AtomFilter::All);
+          executeQuery(Graph, Body, Filters, State.DeltaStart, Collect,
+                       Options.GenericJoin, &Cancel);
+        }
+      }
+      if (TimedOutNow()) {
+        Report.TimedOut = true;
+        Report.Iterations.push_back(Stats);
+        Report.TotalSeconds = Total.seconds();
+        return Report;
+      }
+
+      // BackOff scheduling: drop matches and ban the rule if it exceeded
+      // its (exponentially growing) threshold. The rule's DeltaStart is
+      // left untouched so the dropped work is re-derived after the ban.
+      if (Matches.size() > Threshold) {
+        uint64_t BanSpan = Options.BackoffBanLength << State.TimesBanned;
+        State.BannedUntil = GlobalIteration + BanSpan;
+        ++State.TimesBanned;
+        AnyBanned = true;
+        Matches.clear();
+        Matches.shrink_to_fit();
+        continue;
+      }
+      State.DeltaStart = Graph.timestamp() + 1;
+      Stats.Matches += Matches.size();
+    }
+    Stats.SearchSeconds = Phase.seconds();
+
+    //=== Apply phase: run the actions of all collected matches. ===========
+    Phase.reset();
+    Graph.bumpTimestamp();
+    for (size_t R = 0; R < Rules.size(); ++R) {
+      const Rule &TheRule = Rules[R];
+      for (std::vector<Value> &Env : AllMatches[R]) {
+        Env.resize(TheRule.NumSlots);
+        if (!Graph.runActions(TheRule.Actions, Env)) {
+          if (Graph.failed()) {
+            Report.TotalSeconds = Total.seconds();
+            Report.Iterations.push_back(Stats);
+            return Report;
+          }
+          // A failed action (e.g. primitive failure) only abandons this
+          // match, mirroring guarded rewrites.
+          Graph.clearError();
+        }
+      }
+    }
+    Stats.ApplySeconds = Phase.seconds();
+
+    //=== Rebuild phase: restore congruence and canonical form. ============
+    Phase.reset();
+    Graph.rebuild();
+    Stats.RebuildSeconds = Phase.seconds();
+    if (Graph.failed()) {
+      Report.Iterations.push_back(Stats);
+      Report.TotalSeconds = Total.seconds();
+      return Report;
+    }
+
+    Stats.TuplesAfter = Graph.liveTupleCount();
+    Stats.UnionsAfter = Graph.unionFind().unionCount();
+    Report.Iterations.push_back(Stats);
+
+    size_t RowsAfter = 0;
+    for (size_t F = 0; F < Graph.numFunctions(); ++F)
+      RowsAfter += Graph.function(F).Storage->rowCount();
+    bool Changed = RowsAfter != RowsBefore ||
+                   Graph.unionFind().unionCount() != UnionsBefore;
+
+    if (!Changed && !AnyBanned) {
+      Report.Saturated = true;
+      break;
+    }
+    if (Options.NodeLimit && Stats.TuplesAfter > Options.NodeLimit) {
+      Report.HitNodeLimit = true;
+      break;
+    }
+    if (Options.TimeoutSeconds > 0 &&
+        Total.seconds() > Options.TimeoutSeconds) {
+      Report.TimedOut = true;
+      break;
+    }
+  }
+
+  Report.TotalSeconds = Total.seconds();
+  return Report;
+}

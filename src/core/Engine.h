@@ -1,0 +1,111 @@
+//===- core/Engine.h - Fixpoint rule engine --------------------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fixpoint evaluation loop of §4.2/§4.3: each iteration applies the
+/// (semi-naïve) immediate consequence operator — search all rules, then run
+/// their actions — followed by rebuilding to a fixpoint. Includes the
+/// BackOff rule scheduler used by the Fig. 7 micro-benchmark (mirroring
+/// egg's default scheduler: rules that over-match are banned for
+/// exponentially growing spans).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_CORE_ENGINE_H
+#define EGGLOG_CORE_ENGINE_H
+
+#include "core/Ast.h"
+#include "core/EGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace egglog {
+
+/// Knobs for one run of the engine.
+struct RunOptions {
+  /// Maximum number of iterations.
+  unsigned Iterations = 1;
+  /// Use semi-naïve delta evaluation (§4.3); turning this off gives the
+  /// egglogNI baseline of the paper's benchmarks.
+  bool SemiNaive = true;
+  /// Use worst-case-optimal generic join (off = nested loop, for ablation).
+  bool GenericJoin = true;
+  /// Enable the BackOff scheduler (egg-compatible defaults below).
+  bool UseBackoff = false;
+  uint64_t BackoffMatchLimit = 1000;
+  uint64_t BackoffBanLength = 5;
+  /// Stop when total live tuples exceed this bound (0 = unlimited).
+  size_t NodeLimit = 0;
+  /// Stop after this many seconds (0 = unlimited).
+  double TimeoutSeconds = 0;
+};
+
+/// Statistics for one engine iteration.
+struct IterationStats {
+  size_t Matches = 0;
+  size_t TuplesAfter = 0;
+  size_t UnionsAfter = 0;
+  double SearchSeconds = 0;
+  double ApplySeconds = 0;
+  double RebuildSeconds = 0;
+};
+
+/// Result of a run.
+struct RunReport {
+  std::vector<IterationStats> Iterations;
+  bool Saturated = false;
+  bool HitNodeLimit = false;
+  bool TimedOut = false;
+  double TotalSeconds = 0;
+
+  size_t totalMatches() const {
+    size_t Total = 0;
+    for (const IterationStats &Stats : Iterations)
+      Total += Stats.Matches;
+    return Total;
+  }
+};
+
+/// Owns a rule set and drives iterations against an EGraph. Scheduler and
+/// semi-naïve bookkeeping persist across run() calls so incremental
+/// programs ((run 5) ... (run 5)) behave like one longer run.
+class Engine {
+public:
+  explicit Engine(EGraph &Graph) : Graph(Graph) {}
+
+  /// Adds a rule; returns its index.
+  size_t addRule(Rule R);
+
+  size_t numRules() const { return Rules.size(); }
+  const Rule &rule(size_t Index) const { return Rules[Index]; }
+
+  /// Runs up to Options.Iterations iterations; stops early on saturation,
+  /// node limit, or timeout.
+  RunReport run(const RunOptions &Options);
+
+  EGraph &graph() { return Graph; }
+
+private:
+  /// Per-rule scheduler and semi-naïve state.
+  struct RuleState {
+    /// Rows stamped at or after this are this rule's pending delta.
+    uint32_t DeltaStart = 0;
+    /// BackOff: iteration (global counter) until which the rule is banned.
+    uint64_t BannedUntil = 0;
+    unsigned TimesBanned = 0;
+  };
+
+  EGraph &Graph;
+  std::vector<Rule> Rules;
+  std::vector<RuleState> States;
+  /// Global iteration counter across run() calls (drives ban spans).
+  uint64_t GlobalIteration = 0;
+};
+
+} // namespace egglog
+
+#endif // EGGLOG_CORE_ENGINE_H

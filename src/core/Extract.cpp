@@ -1,0 +1,207 @@
+//===- core/Extract.cpp - Term extraction ------------------------------------===//
+//
+// Part of egglog-cpp. See Extract.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Extract.h"
+
+#include <limits>
+#include <unordered_map>
+
+using namespace egglog;
+
+std::string egglog::formatValue(EGraph &Graph, Value V) {
+  switch (Graph.sorts().kind(V.Sort)) {
+  case SortKind::Unit:
+    return "()";
+  case SortKind::Bool:
+    return V.Bits ? "true" : "false";
+  case SortKind::I64:
+    return std::to_string(Graph.valueToI64(V));
+  case SortKind::F64:
+    return std::to_string(Graph.valueToF64(V));
+  case SortKind::String:
+    return "\"" + Graph.valueToString(V) + "\"";
+  case SortKind::Rational: {
+    const Rational &R = Graph.valueToRational(V);
+    if (R.numerator().fitsInt64() && R.denominator().fitsInt64())
+      return "(rational " + R.numerator().toString() + " " +
+             R.denominator().toString() + ")";
+    // Oversized parts round-trip through the string-based constructor.
+    return "(rational-big \"" + R.numerator().toString() + "\" \"" +
+           R.denominator().toString() + "\")";
+  }
+  case SortKind::Set: {
+    std::string Result = "(set";
+    for (Value Element : Graph.valueToSet(V))
+      Result += " " + formatValue(Graph, Element);
+    return Result + ")";
+  }
+  case SortKind::User:
+    return "#" + std::to_string(V.Bits);
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr int64_t Infinity = std::numeric_limits<int64_t>::max();
+
+int64_t saturatingAdd(int64_t A, int64_t B) {
+  if (A == Infinity || B == Infinity || A > Infinity - B)
+    return Infinity;
+  return A + B;
+}
+
+/// Shared cost-fixpoint state: the cheapest known cost for each canonical
+/// id value, and the (function, row) pair that achieves it.
+struct CostMap {
+  std::unordered_map<Value, std::pair<int64_t, std::pair<FunctionId, size_t>>,
+                     ValueHash>
+      Best;
+
+  int64_t costOf(EGraph &Graph, Value V) const {
+    if (!Graph.sorts().isIdSort(V.Sort))
+      return 1;
+    auto It = Best.find(Graph.canonicalize(V));
+    return It == Best.end() ? Infinity : It->second.first;
+  }
+};
+
+/// Runs the bottom-up cost fixpoint over all id-producing functions.
+CostMap computeCosts(EGraph &Graph) {
+  CostMap Costs;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (FunctionId Func = 0; Func < Graph.numFunctions(); ++Func) {
+      const FunctionInfo &Info = Graph.function(Func);
+      if (!Graph.sorts().isIdSort(Info.Decl.OutSort))
+        continue;
+      const Table &T = *Info.Storage;
+      unsigned NumKeys = Info.numKeys();
+      for (size_t Row = 0; Row < T.rowCount(); ++Row) {
+        if (!T.isLive(Row))
+          continue;
+        const Value *Cells = T.row(Row);
+        int64_t Total = Info.Decl.Cost;
+        for (unsigned I = 0; I < NumKeys && Total != Infinity; ++I)
+          Total = saturatingAdd(Total, Costs.costOf(Graph, Cells[I]));
+        if (Total == Infinity)
+          continue;
+        Value Out = Graph.canonicalize(Cells[NumKeys]);
+        auto It = Costs.Best.find(Out);
+        if (It == Costs.Best.end() || Total < It->second.first) {
+          Costs.Best[Out] = {Total, {Func, Row}};
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Costs;
+}
+
+std::string buildTerm(EGraph &Graph, const CostMap &Costs, Value V) {
+  if (!Graph.sorts().isIdSort(V.Sort))
+    return formatValue(Graph, V);
+  auto It = Costs.Best.find(Graph.canonicalize(V));
+  if (It == Costs.Best.end())
+    return "<no-term>";
+  auto [Func, Row] = It->second.second;
+  const FunctionInfo &Info = Graph.function(Func);
+  const Value *Cells = Info.Storage->row(Row);
+  if (Info.numKeys() == 0)
+    return Info.Decl.Name;
+  std::string Result = "(" + Info.Decl.Name;
+  for (unsigned I = 0; I < Info.numKeys(); ++I)
+    Result += " " + buildTerm(Graph, Costs, Cells[I]);
+  return Result + ")";
+}
+
+} // namespace
+
+std::optional<ExtractedTerm> egglog::extractTerm(EGraph &Graph, Value V) {
+  if (!Graph.sorts().isIdSort(V.Sort))
+    return ExtractedTerm{formatValue(Graph, V), 1};
+  CostMap Costs = computeCosts(Graph);
+  Value Canonical = Graph.canonicalize(V);
+  auto It = Costs.Best.find(Canonical);
+  if (It == Costs.Best.end())
+    return std::nullopt;
+  return ExtractedTerm{buildTerm(Graph, Costs, Canonical), It->second.first};
+}
+
+std::vector<ExtractedTerm> egglog::extractVariants(EGraph &Graph, Value V,
+                                                   size_t MaxVariants) {
+  std::vector<ExtractedTerm> Variants;
+  if (!Graph.sorts().isIdSort(V.Sort)) {
+    Variants.push_back(ExtractedTerm{formatValue(Graph, V), 1});
+    return Variants;
+  }
+  CostMap Costs = computeCosts(Graph);
+  Value Canonical = Graph.canonicalize(V);
+
+  // Gather every entry producing this class, cheapest first.
+  struct Entry {
+    int64_t Cost;
+    FunctionId Func;
+    size_t Row;
+  };
+  std::vector<Entry> Entries;
+  for (FunctionId Func = 0; Func < Graph.numFunctions(); ++Func) {
+    const FunctionInfo &Info = Graph.function(Func);
+    if (!Graph.sorts().isIdSort(Info.Decl.OutSort))
+      continue;
+    const Table &T = *Info.Storage;
+    unsigned NumKeys = Info.numKeys();
+    for (size_t Row = 0; Row < T.rowCount(); ++Row) {
+      if (!T.isLive(Row))
+        continue;
+      const Value *Cells = T.row(Row);
+      if (Graph.canonicalize(Cells[NumKeys]) != Canonical)
+        continue;
+      int64_t Total = Info.Decl.Cost;
+      for (unsigned I = 0; I < NumKeys && Total != Infinity; ++I)
+        Total = saturatingAdd(Total, Costs.costOf(Graph, Cells[I]));
+      if (Total != Infinity)
+        Entries.push_back(Entry{Total, Func, Row});
+    }
+  }
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) { return A.Cost < B.Cost; });
+
+  for (const Entry &E : Entries) {
+    if (Variants.size() >= MaxVariants)
+      break;
+    const FunctionInfo &Info = Graph.function(E.Func);
+    const Value *Cells = Info.Storage->row(E.Row);
+    std::string Text;
+    if (Info.numKeys() == 0) {
+      Text = Info.Decl.Name;
+    } else {
+      Text = "(" + Info.Decl.Name;
+      for (unsigned I = 0; I < Info.numKeys(); ++I)
+        Text += " " + buildTerm(Graph, Costs, Cells[I]);
+      Text += ")";
+    }
+    // Skip duplicates (distinct rows can render identically after
+    // canonicalization).
+    bool Duplicate = false;
+    for (const ExtractedTerm &Seen : Variants)
+      Duplicate |= Seen.Text == Text;
+    if (!Duplicate)
+      Variants.push_back(ExtractedTerm{std::move(Text), E.Cost});
+  }
+  return Variants;
+}
+
+std::optional<int64_t> egglog::extractCost(EGraph &Graph, Value V) {
+  if (!Graph.sorts().isIdSort(V.Sort))
+    return 1;
+  CostMap Costs = computeCosts(Graph);
+  auto It = Costs.Best.find(Graph.canonicalize(V));
+  if (It == Costs.Best.end())
+    return std::nullopt;
+  return It->second.first;
+}

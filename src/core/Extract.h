@@ -1,0 +1,53 @@
+//===- core/Extract.h - Term extraction ------------------------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extraction of the smallest term represented by a value (§3.4: "the
+/// extract command prints the smallest term equivalent to its given
+/// input"). Costs are assigned bottom-up to every equivalence class by a
+/// fixpoint over all function entries whose output is an id sort; base
+/// constants cost 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_CORE_EXTRACT_H
+#define EGGLOG_CORE_EXTRACT_H
+
+#include "core/EGraph.h"
+
+#include <optional>
+#include <string>
+
+namespace egglog {
+
+/// An extracted term with its total cost.
+struct ExtractedTerm {
+  std::string Text;
+  int64_t Cost = 0;
+};
+
+/// Renders a base (non-id) value as surface syntax.
+std::string formatValue(EGraph &Graph, Value V);
+
+/// Extracts the cheapest term represented by \p V. Returns nullopt when no
+/// term in the database represents the value (possible for fresh ids that
+/// no constructor entry outputs).
+std::optional<ExtractedTerm> extractTerm(EGraph &Graph, Value V);
+
+/// Computes only the cost of the cheapest representative of \p V.
+std::optional<int64_t> extractCost(EGraph &Graph, Value V);
+
+/// Extracts up to \p MaxVariants distinct terms represented by \p V: one
+/// per function entry whose output lies in V's class, each completed with
+/// cheapest-cost children. Used by the mini-Herbie candidate selection
+/// (§6.2), which evaluates several equivalent programs and keeps the most
+/// accurate.
+std::vector<ExtractedTerm> extractVariants(EGraph &Graph, Value V,
+                                           size_t MaxVariants);
+
+} // namespace egglog
+
+#endif // EGGLOG_CORE_EXTRACT_H

@@ -1,0 +1,936 @@
+//===- core/Frontend.cpp - egglog language frontend ---------------------------===//
+//
+// Part of egglog-cpp. See Frontend.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Frontend.h"
+
+#include "core/Extract.h"
+#include "core/Query.h"
+
+#include <cassert>
+
+using namespace egglog;
+
+namespace {
+
+bool isKeyword(const SExpr &Node) {
+  return Node.isSymbol() && !Node.Text.empty() && Node.Text[0] == ':';
+}
+
+/// Scans trailing `:keyword value` pairs starting at \p From. Returns false
+/// on a malformed tail.
+bool scanKeywords(const SExpr &Form, size_t From,
+                  std::unordered_map<std::string, const SExpr *> &Out) {
+  for (size_t I = From; I < Form.size();) {
+    if (!isKeyword(Form[I]) || I + 1 >= Form.size())
+      return false;
+    Out[Form[I].Text] = &Form[I + 1];
+    I += 2;
+  }
+  return true;
+}
+
+} // namespace
+
+bool Frontend::fail(const SExpr &At, const std::string &Message) {
+  if (!ErrorMsg.empty())
+    return false;
+  ErrorMsg = "line " + std::to_string(At.Line) + ": " + Message;
+  return false;
+}
+
+bool Frontend::execute(std::string_view Source) {
+  ParseResult Parsed = parseSExprs(Source);
+  if (!Parsed.Ok) {
+    ErrorMsg = "line " + std::to_string(Parsed.ErrorLine) +
+               ": parse error: " + Parsed.Error;
+    return false;
+  }
+  for (const SExpr &Form : Parsed.Forms)
+    if (!executeForm(Form))
+      return false;
+  return true;
+}
+
+bool Frontend::executeForm(const SExpr &Form) {
+  if (!Form.isList() || Form.size() == 0 || !Form[0].isSymbol())
+    return fail(Form, "expected a command form");
+  const std::string &Head = Form[0].Text;
+  if (Head == "sort")
+    return execSort(Form);
+  if (Head == "datatype")
+    return execDatatype(Form);
+  if (Head == "function")
+    return execFunction(Form);
+  if (Head == "relation")
+    return execRelation(Form);
+  if (Head == "rule")
+    return execRule(Form);
+  if (Head == "rewrite")
+    return execRewrite(Form, /*Bidirectional=*/false);
+  if (Head == "birewrite")
+    return execRewrite(Form, /*Bidirectional=*/true);
+  if (Head == "define" || Head == "let")
+    return execDefine(Form);
+  if (Head == "run")
+    return execRun(Form);
+  if (Head == "check")
+    return execCheck(Form, /*ExpectFailure=*/false);
+  if (Head == "check-fail")
+    return execCheck(Form, /*ExpectFailure=*/true);
+  if (Head == "extract")
+    return execExtract(Form);
+  if (Head == "print-size") {
+    if (Form.size() != 2 || !Form[1].isSymbol())
+      return fail(Form, "usage: (print-size function)");
+    FunctionId Func;
+    if (!Graph.lookupFunctionName(Form[1].Text, Func))
+      return fail(Form[1], "unknown function '" + Form[1].Text + "'");
+    Outputs.push_back(Form[1].Text + ": " +
+                      std::to_string(Graph.functionSize(Func)));
+    return true;
+  }
+  return execTopLevelAction(Form);
+}
+
+//===----------------------------------------------------------------------===
+// Declarations
+//===----------------------------------------------------------------------===
+
+bool Frontend::parseSortName(const SExpr &Node, SortId &Out) {
+  if (!Node.isSymbol())
+    return fail(Node, "expected a sort name");
+  if (!Graph.sorts().lookup(Node.Text, Out))
+    return fail(Node, "unknown sort '" + Node.Text + "'");
+  return true;
+}
+
+bool Frontend::execSort(const SExpr &Form) {
+  if (Form.size() < 2 || !Form[1].isSymbol())
+    return fail(Form, "usage: (sort Name) or (sort Name (Set Elem))");
+  SortId Existing;
+  if (Graph.sorts().lookup(Form[1].Text, Existing))
+    return fail(Form, "sort '" + Form[1].Text + "' already declared");
+  if (Form.size() == 2) {
+    Graph.declareSort(Form[1].Text);
+    return true;
+  }
+  const SExpr &Ctor = Form[2];
+  if (Form.size() == 3 && Ctor.isCall("Set") && Ctor.size() == 2) {
+    SortId Element;
+    if (!parseSortName(Ctor[1], Element))
+      return false;
+    Graph.declareSetSort(Form[1].Text, Element);
+    return true;
+  }
+  return fail(Form, "unsupported sort constructor");
+}
+
+bool Frontend::execDatatype(const SExpr &Form) {
+  if (Form.size() < 2 || !Form[1].isSymbol())
+    return fail(Form, "usage: (datatype Name ctors...)");
+  SortId Existing;
+  if (Graph.sorts().lookup(Form[1].Text, Existing))
+    return fail(Form, "sort '" + Form[1].Text + "' already declared");
+  SortId Self = Graph.declareSort(Form[1].Text);
+  for (size_t I = 2; I < Form.size(); ++I) {
+    const SExpr &Ctor = Form[I];
+    if (!Ctor.isList() || Ctor.size() == 0 || !Ctor[0].isSymbol())
+      return fail(Ctor, "expected a constructor (Name sorts...)");
+    FunctionDecl Decl;
+    Decl.Name = Ctor[0].Text;
+    Decl.OutSort = Self;
+    size_t ArgEnd = Ctor.size();
+    // Allow a trailing :cost annotation.
+    if (Ctor.size() >= 3 && isKeyword(Ctor[Ctor.size() - 2]) &&
+        Ctor[Ctor.size() - 2].Text == ":cost" &&
+        Ctor[Ctor.size() - 1].isInteger()) {
+      Decl.Cost = Ctor[Ctor.size() - 1].IntValue;
+      ArgEnd -= 2;
+    }
+    for (size_t J = 1; J < ArgEnd; ++J) {
+      SortId Arg;
+      if (!parseSortName(Ctor[J], Arg))
+        return false;
+      Decl.ArgSorts.push_back(Arg);
+    }
+    FunctionId Ignored;
+    if (Graph.lookupFunctionName(Decl.Name, Ignored))
+      return fail(Ctor, "function '" + Decl.Name + "' already declared");
+    Graph.declareFunction(std::move(Decl));
+  }
+  return true;
+}
+
+bool Frontend::execFunction(const SExpr &Form) {
+  if (Form.size() < 4 || !Form[1].isSymbol() || !Form[2].isList())
+    return fail(Form, "usage: (function Name (ArgSorts...) OutSort ...)");
+  FunctionDecl Decl;
+  Decl.Name = Form[1].Text;
+  FunctionId Ignored;
+  if (Graph.lookupFunctionName(Decl.Name, Ignored))
+    return fail(Form, "function '" + Decl.Name + "' already declared");
+  for (const SExpr &Arg : Form[2].Elements) {
+    SortId Sort;
+    if (!parseSortName(Arg, Sort))
+      return false;
+    Decl.ArgSorts.push_back(Sort);
+  }
+  if (!parseSortName(Form[3], Decl.OutSort))
+    return false;
+
+  std::unordered_map<std::string, const SExpr *> Keywords;
+  if (!scanKeywords(Form, 4, Keywords))
+    return fail(Form, "malformed keyword arguments");
+  if (auto It = Keywords.find(":cost"); It != Keywords.end()) {
+    if (!It->second->isInteger())
+      return fail(*It->second, ":cost expects an integer");
+    Decl.Cost = It->second->IntValue;
+  }
+  if (auto It = Keywords.find(":merge"); It != Keywords.end()) {
+    RuleCtx Ctx;
+    uint32_t OldSlot = Ctx.freshVar(Decl.OutSort);
+    uint32_t NewSlot = Ctx.freshVar(Decl.OutSort);
+    Ctx.Names["old"] = Binding{VarOrConst::makeVar(OldSlot), Decl.OutSort};
+    Ctx.Names["new"] = Binding{VarOrConst::makeVar(NewSlot), Decl.OutSort};
+    TypedExpr Merge;
+    if (!typecheckExpr(Ctx, *It->second, Decl.OutSort, Merge))
+      return false;
+    Decl.MergeExpr = std::move(Merge);
+  }
+  if (auto It = Keywords.find(":default"); It != Keywords.end()) {
+    RuleCtx Ctx;
+    TypedExpr Default;
+    if (!typecheckExpr(Ctx, *It->second, Decl.OutSort, Default))
+      return false;
+    Decl.DefaultExpr = std::move(Default);
+  }
+  Graph.declareFunction(std::move(Decl));
+  return true;
+}
+
+bool Frontend::execRelation(const SExpr &Form) {
+  if (Form.size() != 3 || !Form[1].isSymbol() || !Form[2].isList())
+    return fail(Form, "usage: (relation Name (ArgSorts...))");
+  FunctionDecl Decl;
+  Decl.Name = Form[1].Text;
+  FunctionId Ignored;
+  if (Graph.lookupFunctionName(Decl.Name, Ignored))
+    return fail(Form, "function '" + Decl.Name + "' already declared");
+  for (const SExpr &Arg : Form[2].Elements) {
+    SortId Sort;
+    if (!parseSortName(Arg, Sort))
+      return false;
+    Decl.ArgSorts.push_back(Sort);
+  }
+  Decl.OutSort = SortTable::UnitSort;
+  Graph.declareFunction(std::move(Decl));
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// Rules and rewrites
+//===----------------------------------------------------------------------===
+
+bool Frontend::execRule(const SExpr &Form) {
+  if (Form.size() < 3 || !Form[1].isList() || !Form[2].isList())
+    return fail(Form, "usage: (rule (facts...) (actions...))");
+  std::unordered_map<std::string, const SExpr *> Keywords;
+  if (!scanKeywords(Form, 3, Keywords))
+    return fail(Form, "malformed keyword arguments");
+
+  Rule R;
+  if (auto It = Keywords.find(":name"); It != Keywords.end())
+    R.Name = It->second->Text;
+
+  RuleCtx Ctx;
+  for (const SExpr &Fact : Form[1].Elements)
+    if (!flattenQueryFact(Ctx, Fact))
+      return false;
+  Ctx.NumSlots = Ctx.Q.NumVars;
+  for (const SExpr &Act : Form[2].Elements)
+    if (!typecheckAction(Ctx, Act, R.Actions))
+      return false;
+  R.Body = std::move(Ctx.Q);
+  R.NumSlots = Ctx.NumSlots;
+  Eng.addRule(std::move(R));
+  return true;
+}
+
+bool Frontend::makeRewriteRule(const SExpr &Lhs, const SExpr &Rhs,
+                               const SExpr *WhenList,
+                               const std::string &Name) {
+  RuleCtx Ctx;
+  Binding Root;
+  if (!flattenPattern(Ctx, Lhs, InvalidSort, Root))
+    return false;
+  if (!Root.Term.IsVar || !Graph.sorts().isIdSort(Root.Sort))
+    return fail(Lhs, "rewrite left-hand side must be a term of a user sort");
+  if (WhenList) {
+    if (!WhenList->isList())
+      return fail(*WhenList, ":when expects a list of conditions");
+    for (const SExpr &Cond : WhenList->Elements)
+      if (!flattenQueryFact(Ctx, Cond))
+        return false;
+  }
+  Ctx.NumSlots = Ctx.Q.NumVars;
+
+  Rule R;
+  R.Name = Name;
+  TypedExpr RhsExpr;
+  if (!typecheckExpr(Ctx, Rhs, Root.Sort, RhsExpr))
+    return false;
+  Action Act;
+  Act.ActKind = Action::Kind::Union;
+  Act.Expr = TypedExpr::makeVar(Root.Term.Var, Root.Sort);
+  Act.Expr2 = std::move(RhsExpr);
+  R.Actions.push_back(std::move(Act));
+  R.Body = std::move(Ctx.Q);
+  R.NumSlots = Ctx.NumSlots;
+  Eng.addRule(std::move(R));
+  return true;
+}
+
+bool Frontend::execRewrite(const SExpr &Form, bool Bidirectional) {
+  if (Form.size() < 3)
+    return fail(Form, "usage: (rewrite lhs rhs [:when (conds...)])");
+  std::unordered_map<std::string, const SExpr *> Keywords;
+  if (!scanKeywords(Form, 3, Keywords))
+    return fail(Form, "malformed keyword arguments");
+  const SExpr *WhenList = nullptr;
+  if (auto It = Keywords.find(":when"); It != Keywords.end())
+    WhenList = It->second;
+  std::string Name;
+  if (auto It = Keywords.find(":name"); It != Keywords.end())
+    Name = It->second->Text;
+  if (!makeRewriteRule(Form[1], Form[2], WhenList, Name))
+    return false;
+  if (Bidirectional && !makeRewriteRule(Form[2], Form[1], WhenList, Name))
+    return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// Top-level commands
+//===----------------------------------------------------------------------===
+
+bool Frontend::execDefine(const SExpr &Form) {
+  if (Form.size() < 3 || !Form[1].isSymbol())
+    return fail(Form, "usage: (define name expr)");
+  FunctionId Ignored;
+  if (Graph.lookupFunctionName(Form[1].Text, Ignored))
+    return fail(Form, "'" + Form[1].Text + "' already declared");
+  std::unordered_map<std::string, const SExpr *> Keywords;
+  if (!scanKeywords(Form, 3, Keywords))
+    return fail(Form, "malformed keyword arguments");
+
+  RuleCtx Ctx;
+  TypedExpr Expr;
+  if (!typecheckExpr(Ctx, Form[2], InvalidSort, Expr))
+    return false;
+  Value Result;
+  std::vector<Value> Env;
+  if (!Graph.evalExpr(Expr, Env, Result))
+    return fail(Form, "failed to evaluate definition of '" + Form[1].Text +
+                          "': " + Graph.errorMessage());
+
+  FunctionDecl Decl;
+  Decl.Name = Form[1].Text;
+  Decl.OutSort = Expr.Type;
+  // Defined names are aliases; give them a prohibitive extraction cost so
+  // extract prefers real terms (matching egglog's define).
+  Decl.Cost = 1000000000;
+  if (auto It = Keywords.find(":cost"); It != Keywords.end()) {
+    if (!It->second->isInteger())
+      return fail(*It->second, ":cost expects an integer");
+    Decl.Cost = It->second->IntValue;
+  }
+  FunctionId Func = Graph.declareFunction(std::move(Decl));
+  Value NoArgs;
+  if (!Graph.setValue(Func, &NoArgs, Result))
+    return fail(Form, Graph.errorMessage());
+  return true;
+}
+
+bool Frontend::execRun(const SExpr &Form) {
+  RunOptions Opts = Options;
+  if (Form.size() >= 2) {
+    if (!Form[1].isInteger() || Form[1].IntValue < 0)
+      return fail(Form, "usage: (run) or (run n)");
+    Opts.Iterations = static_cast<unsigned>(Form[1].IntValue);
+  } else {
+    // Bare (run): iterate to saturation with a generous safety cap.
+    Opts.Iterations = 1000;
+  }
+  LastRun = Eng.run(Opts);
+  if (Graph.failed())
+    return fail(Form, Graph.errorMessage());
+  return true;
+}
+
+bool Frontend::execCheck(const SExpr &Form, bool ExpectFailure) {
+  if (Form.size() < 2)
+    return fail(Form, "usage: (check fact...)");
+  if (!ensureRebuilt())
+    return false;
+  for (size_t I = 1; I < Form.size(); ++I) {
+    CheckFact Fact;
+    if (!typecheckCheckFact(Form[I], Fact))
+      return false;
+    bool Holds = Graph.checkFact(Fact);
+    if (Graph.failed())
+      return fail(Form[I], Graph.errorMessage());
+    if (Holds == ExpectFailure)
+      return fail(Form[I], ExpectFailure
+                               ? "check-fail succeeded unexpectedly: " +
+                                     Form[I].toString()
+                               : "check failed: " + Form[I].toString());
+  }
+  return true;
+}
+
+bool Frontend::execExtract(const SExpr &Form) {
+  if (Form.size() != 2)
+    return fail(Form, "usage: (extract expr)");
+  if (!ensureRebuilt())
+    return false;
+  RuleCtx Ctx;
+  TypedExpr Expr;
+  if (!typecheckExpr(Ctx, Form[1], InvalidSort, Expr))
+    return false;
+  Value Result;
+  std::vector<Value> Env;
+  if (!Graph.evalExpr(Expr, Env, Result, /*CreateTerms=*/false))
+    return fail(Form, "extract: expression is not in the database");
+  std::optional<ExtractedTerm> Term = extractTerm(Graph, Result);
+  if (!Term)
+    return fail(Form, "extract: no term represents this value");
+  Outputs.push_back(Term->Text);
+  return true;
+}
+
+bool Frontend::execTopLevelAction(const SExpr &Form) {
+  RuleCtx Ctx;
+  std::vector<Action> Actions;
+  if (!typecheckAction(Ctx, Form, Actions))
+    return false;
+  std::vector<Value> Env(Ctx.NumSlots);
+  if (!Graph.runActions(Actions, Env)) {
+    if (Graph.failed())
+      return fail(Form, Graph.errorMessage());
+    return fail(Form, "action failed: " + Form.toString());
+  }
+  return true;
+}
+
+bool Frontend::ensureRebuilt() {
+  if (Graph.needsRebuild())
+    Graph.rebuild();
+  if (Graph.failed()) {
+    ErrorMsg = Graph.errorMessage();
+    return false;
+  }
+  return true;
+}
+
+bool Frontend::evalGround(std::string_view ExprSource, Value &Out) {
+  ParseResult Parsed = parseSExprs(ExprSource);
+  if (!Parsed.Ok || Parsed.Forms.size() != 1)
+    return false;
+  if (!ensureRebuilt())
+    return false;
+  RuleCtx Ctx;
+  TypedExpr Expr;
+  if (!typecheckExpr(Ctx, Parsed.Forms[0], InvalidSort, Expr)) {
+    ErrorMsg.clear();
+    return false;
+  }
+  std::vector<Value> Env;
+  return Graph.evalExpr(Expr, Env, Out, /*CreateTerms=*/false);
+}
+
+//===----------------------------------------------------------------------===
+// Typechecking: patterns (query side)
+//===----------------------------------------------------------------------===
+
+Value Frontend::literalFor(const SExpr &Node, SortId Expected) {
+  if (Node.isInteger()) {
+    if (Expected == SortTable::F64Sort)
+      return Graph.mkF64(static_cast<double>(Node.IntValue));
+    if (Expected == SortTable::RationalSort)
+      return Graph.mkRational(Rational(Node.IntValue));
+    return Graph.mkI64(Node.IntValue);
+  }
+  if (Node.isFloat())
+    return Graph.mkF64(Node.FloatValue);
+  assert(Node.isString() && "literalFor on a non-literal");
+  return Graph.mkString(Node.Text);
+}
+
+bool Frontend::resolvePrim(const SExpr &At, const std::string &Name,
+                           const std::vector<SortId> &ArgSorts,
+                           uint32_t &PrimId) {
+  if (Graph.primitives().resolve(Name, ArgSorts, PrimId))
+    return true;
+  // Lazily instantiate the polymorphic comparisons for any sort.
+  if ((Name == "!=" || Name == "==") && ArgSorts.size() == 2 &&
+      ArgSorts[0] == ArgSorts[1]) {
+    bool Negated = Name == "!=";
+    PrimId = Graph.primitives().add(Primitive{
+        Name,
+        ArgSorts,
+        SortTable::BoolSort,
+        [Negated](EGraph &G, const Value *Args, Value &Out) {
+          bool Equal = G.canonicalize(Args[0]) == G.canonicalize(Args[1]);
+          Out = G.mkBool(Negated ? !Equal : Equal);
+          return true;
+        }});
+    return true;
+  }
+  std::string Sorts;
+  for (SortId S : ArgSorts)
+    Sorts += " " + Graph.sorts().name(S);
+  return fail(At, "no primitive '" + Name + "' for argument sorts:" + Sorts);
+}
+
+bool Frontend::flattenPattern(RuleCtx &Ctx, const SExpr &Pattern,
+                              SortId Expected, Binding &Out) {
+  // Symbols: booleans, bound names, nullary functions, or fresh variables.
+  if (Pattern.isSymbol()) {
+    const std::string &Name = Pattern.Text;
+    if (Name == "true" || Name == "false") {
+      Out = Binding{VarOrConst::makeConst(Graph.mkBool(Name == "true")),
+                    SortTable::BoolSort};
+    } else if (auto It = Ctx.Names.find(Name); It != Ctx.Names.end()) {
+      Out = It->second;
+    } else {
+      FunctionId Func;
+      if (Graph.lookupFunctionName(Name, Func)) {
+        const FunctionInfo &Info = Graph.function(Func);
+        if (Info.numKeys() != 0)
+          return fail(Pattern, "function '" + Name +
+                                   "' used as a variable but takes arguments");
+        uint32_t Slot = Ctx.freshVar(Info.Decl.OutSort);
+        QueryAtom Atom;
+        Atom.Func = Func;
+        Atom.Terms.push_back(VarOrConst::makeVar(Slot));
+        Ctx.Q.Atoms.push_back(std::move(Atom));
+        Out = Binding{VarOrConst::makeVar(Slot), Info.Decl.OutSort};
+      } else {
+        if (Expected == InvalidSort)
+          return fail(Pattern,
+                      "cannot infer the sort of variable '" + Name + "'");
+        uint32_t Slot = Ctx.freshVar(Expected);
+        Out = Binding{VarOrConst::makeVar(Slot), Expected};
+        Ctx.Names[Name] = Out;
+      }
+    }
+  } else if (Pattern.isInteger() || Pattern.isFloat() || Pattern.isString()) {
+    Value Lit = literalFor(Pattern, Expected);
+    Out = Binding{VarOrConst::makeConst(Lit), Lit.Sort};
+  } else if (Pattern.isList() && Pattern.size() == 0) {
+    Out = Binding{VarOrConst::makeConst(Graph.mkUnit()), SortTable::UnitSort};
+  } else {
+    // Call patterns: declared functions become atoms, primitives become
+    // computations.
+    if (!Pattern[0].isSymbol())
+      return fail(Pattern, "expected a pattern");
+    const std::string &Head = Pattern[0].Text;
+    FunctionId Func;
+    if (Graph.lookupFunctionName(Head, Func)) {
+      const FunctionInfo &Info = Graph.function(Func);
+      if (Pattern.size() - 1 != Info.numKeys())
+        return fail(Pattern, "function '" + Head + "' expects " +
+                                 std::to_string(Info.numKeys()) +
+                                 " arguments");
+      QueryAtom Atom;
+      Atom.Func = Func;
+      for (unsigned I = 0; I < Info.numKeys(); ++I) {
+        Binding Arg;
+        if (!flattenPattern(Ctx, Pattern[I + 1], Info.Decl.ArgSorts[I], Arg))
+          return false;
+        if (Arg.Sort != Info.Decl.ArgSorts[I])
+          return fail(Pattern[I + 1], "argument sort mismatch in call to '" +
+                                          Head + "'");
+        Atom.Terms.push_back(Arg.Term);
+      }
+      uint32_t Slot = Ctx.freshVar(Info.Decl.OutSort);
+      Atom.Terms.push_back(VarOrConst::makeVar(Slot));
+      Ctx.Q.Atoms.push_back(std::move(Atom));
+      Out = Binding{VarOrConst::makeVar(Slot), Info.Decl.OutSort};
+    } else if (Graph.primitives().knownName(Head) || Head == "!=" ||
+               Head == "==") {
+      PrimComputation Prim;
+      std::vector<SortId> ArgSorts;
+      for (size_t I = 1; I < Pattern.size(); ++I) {
+        Binding Arg;
+        if (!flattenPattern(Ctx, Pattern[I], InvalidSort, Arg))
+          return false;
+        Prim.Args.push_back(Arg.Term);
+        ArgSorts.push_back(Arg.Sort);
+      }
+      if (!resolvePrim(Pattern, Head, ArgSorts, Prim.Prim))
+        return false;
+      SortId OutSort = Graph.primitives().get(Prim.Prim).OutSort;
+      uint32_t Slot = Ctx.freshVar(OutSort);
+      Prim.Out = VarOrConst::makeVar(Slot);
+      Ctx.Q.Prims.push_back(std::move(Prim));
+      Out = Binding{VarOrConst::makeVar(Slot), OutSort};
+    } else {
+      return fail(Pattern, "unknown function or primitive '" + Head + "'");
+    }
+  }
+  if (Expected != InvalidSort && Out.Sort != Expected)
+    return fail(Pattern, "expected sort '" + Graph.sorts().name(Expected) +
+                             "' but pattern has sort '" +
+                             Graph.sorts().name(Out.Sort) + "'");
+  return true;
+}
+
+bool Frontend::flattenQueryFact(RuleCtx &Ctx, const SExpr &Fact) {
+  if (!Fact.isList() || Fact.size() == 0 || !Fact[0].isSymbol())
+    return fail(Fact, "expected a query fact");
+  const std::string &Head = Fact[0].Text;
+
+  if (Head == "=") {
+    if (Fact.size() != 3)
+      return fail(Fact, "(=) expects two arguments");
+    const SExpr &A = Fact[1], &B = Fact[2];
+    // Prefer binding a fresh name to the other side's value.
+    auto IsFreshName = [&](const SExpr &Node) {
+      if (!Node.isSymbol() || Node.Text == "true" || Node.Text == "false")
+        return false;
+      FunctionId Ignored;
+      return Ctx.Names.find(Node.Text) == Ctx.Names.end() &&
+             !Graph.lookupFunctionName(Node.Text, Ignored);
+    };
+    if (IsFreshName(A) && !IsFreshName(B)) {
+      Binding Rhs;
+      if (!flattenPattern(Ctx, B, InvalidSort, Rhs))
+        return false;
+      Ctx.Names[A.Text] = Rhs;
+      return true;
+    }
+    if (IsFreshName(B) && !IsFreshName(A)) {
+      Binding Lhs;
+      if (!flattenPattern(Ctx, A, InvalidSort, Lhs))
+        return false;
+      Ctx.Names[B.Text] = Lhs;
+      return true;
+    }
+    // Both sides are patterns (or both fresh names, which we reject).
+    if (IsFreshName(A) && IsFreshName(B))
+      return fail(Fact, "cannot infer sorts in (= " + A.Text + " " + B.Text +
+                            ")");
+    Binding Lhs;
+    if (!flattenPattern(Ctx, A, InvalidSort, Lhs))
+      return false;
+    // If the right side is a function call, reuse the left value as its
+    // output column; otherwise emit an equality filter.
+    if (B.isList() && B.size() > 0 && B[0].isSymbol()) {
+      FunctionId Func;
+      if (Graph.lookupFunctionName(B[0].Text, Func)) {
+        const FunctionInfo &Info = Graph.function(Func);
+        if (B.size() - 1 != Info.numKeys())
+          return fail(B, "function '" + B[0].Text + "' expects " +
+                             std::to_string(Info.numKeys()) + " arguments");
+        if (Info.Decl.OutSort != Lhs.Sort)
+          return fail(Fact, "(=) sides have different sorts");
+        QueryAtom Atom;
+        Atom.Func = Func;
+        for (unsigned I = 0; I < Info.numKeys(); ++I) {
+          Binding Arg;
+          if (!flattenPattern(Ctx, B[I + 1], Info.Decl.ArgSorts[I], Arg))
+            return false;
+          Atom.Terms.push_back(Arg.Term);
+        }
+        Atom.Terms.push_back(Lhs.Term);
+        Ctx.Q.Atoms.push_back(std::move(Atom));
+        return true;
+      }
+    }
+    Binding Rhs;
+    if (!flattenPattern(Ctx, B, Lhs.Sort, Rhs))
+      return false;
+    PrimComputation Prim;
+    if (!resolvePrim(Fact, "==", {Lhs.Sort, Rhs.Sort}, Prim.Prim))
+      return false;
+    Prim.Args = {Lhs.Term, Rhs.Term};
+    Prim.Out = VarOrConst::makeConst(Graph.mkBool(true));
+    Ctx.Q.Prims.push_back(std::move(Prim));
+    return true;
+  }
+
+  if (Head == "!=") {
+    if (Fact.size() != 3)
+      return fail(Fact, "(!=) expects two arguments");
+    Binding Lhs, Rhs;
+    if (!flattenPattern(Ctx, Fact[1], InvalidSort, Lhs) ||
+        !flattenPattern(Ctx, Fact[2], Lhs.Sort, Rhs))
+      return false;
+    PrimComputation Prim;
+    if (!resolvePrim(Fact, "!=", {Lhs.Sort, Rhs.Sort}, Prim.Prim))
+      return false;
+    Prim.Args = {Lhs.Term, Rhs.Term};
+    Prim.Out = VarOrConst::makeConst(Graph.mkBool(true));
+    Ctx.Q.Prims.push_back(std::move(Prim));
+    return true;
+  }
+
+  // A declared-function pattern is an occurrence check; a boolean
+  // primitive is a filter.
+  FunctionId Func;
+  if (Graph.lookupFunctionName(Head, Func)) {
+    Binding Ignored;
+    return flattenPattern(Ctx, Fact, InvalidSort, Ignored);
+  }
+  if (Graph.primitives().knownName(Head)) {
+    PrimComputation Prim;
+    std::vector<SortId> ArgSorts;
+    for (size_t I = 1; I < Fact.size(); ++I) {
+      Binding Arg;
+      if (!flattenPattern(Ctx, Fact[I], InvalidSort, Arg))
+        return false;
+      Prim.Args.push_back(Arg.Term);
+      ArgSorts.push_back(Arg.Sort);
+    }
+    if (!resolvePrim(Fact, Head, ArgSorts, Prim.Prim))
+      return false;
+    if (Graph.primitives().get(Prim.Prim).OutSort != SortTable::BoolSort)
+      return fail(Fact, "query condition must be a boolean primitive");
+    Prim.Out = VarOrConst::makeConst(Graph.mkBool(true));
+    Ctx.Q.Prims.push_back(std::move(Prim));
+    return true;
+  }
+  return fail(Fact, "unknown function or primitive '" + Head + "'");
+}
+
+//===----------------------------------------------------------------------===
+// Typechecking: expressions and actions
+//===----------------------------------------------------------------------===
+
+bool Frontend::typecheckExpr(RuleCtx &Ctx, const SExpr &Expr, SortId Expected,
+                             TypedExpr &Out) {
+  if (Expr.isSymbol()) {
+    const std::string &Name = Expr.Text;
+    if (Name == "true" || Name == "false") {
+      Out = TypedExpr::makeLit(Graph.mkBool(Name == "true"));
+    } else if (auto It = Ctx.Names.find(Name); It != Ctx.Names.end()) {
+      const Binding &B = It->second;
+      Out = B.Term.IsVar ? TypedExpr::makeVar(B.Term.Var, B.Sort)
+                         : TypedExpr::makeLit(B.Term.Const);
+    } else {
+      FunctionId Func;
+      if (!Graph.lookupFunctionName(Name, Func))
+        return fail(Expr, "unbound variable '" + Name + "'");
+      const FunctionInfo &Info = Graph.function(Func);
+      if (Info.numKeys() != 0)
+        return fail(Expr, "function '" + Name + "' takes arguments");
+      Out = TypedExpr::makeCall(TypedExpr::Kind::FuncCall, Func,
+                                Info.Decl.OutSort, {});
+    }
+  } else if (Expr.isInteger() || Expr.isFloat() || Expr.isString()) {
+    Out = TypedExpr::makeLit(literalFor(Expr, Expected));
+  } else if (Expr.isList() && Expr.size() == 0) {
+    Out = TypedExpr::makeLit(Graph.mkUnit());
+  } else {
+    if (!Expr[0].isSymbol())
+      return fail(Expr, "expected an expression");
+    const std::string &Head = Expr[0].Text;
+    FunctionId Func;
+    if (Graph.lookupFunctionName(Head, Func)) {
+      const FunctionInfo &Info = Graph.function(Func);
+      if (Expr.size() - 1 != Info.numKeys())
+        return fail(Expr, "function '" + Head + "' expects " +
+                              std::to_string(Info.numKeys()) + " arguments");
+      std::vector<TypedExpr> Args;
+      for (unsigned I = 0; I < Info.numKeys(); ++I) {
+        TypedExpr Arg;
+        if (!typecheckExpr(Ctx, Expr[I + 1], Info.Decl.ArgSorts[I], Arg))
+          return false;
+        Args.push_back(std::move(Arg));
+      }
+      Out = TypedExpr::makeCall(TypedExpr::Kind::FuncCall, Func,
+                                Info.Decl.OutSort, std::move(Args));
+    } else if (Graph.primitives().knownName(Head) || Head == "!=" ||
+               Head == "==") {
+      std::vector<TypedExpr> Args;
+      std::vector<SortId> ArgSorts;
+      for (size_t I = 1; I < Expr.size(); ++I) {
+        TypedExpr Arg;
+        SortId ArgExpected = InvalidSort;
+        // Give numeric literals a chance to adapt to a numeric sibling
+        // sort (e.g. (+ x 1) where x is f64 or Rational).
+        if (!ArgSorts.empty() && Expr[I].isInteger() &&
+            (ArgSorts.front() == SortTable::F64Sort ||
+             ArgSorts.front() == SortTable::RationalSort))
+          ArgExpected = ArgSorts.front();
+        if (!typecheckExpr(Ctx, Expr[I], ArgExpected, Arg))
+          return false;
+        ArgSorts.push_back(Arg.Type);
+        Args.push_back(std::move(Arg));
+      }
+      uint32_t PrimId;
+      if (!resolvePrim(Expr, Head, ArgSorts, PrimId))
+        return false;
+      Out = TypedExpr::makeCall(TypedExpr::Kind::PrimCall, PrimId,
+                                Graph.primitives().get(PrimId).OutSort,
+                                std::move(Args));
+    } else {
+      return fail(Expr, "unknown function or primitive '" + Head + "'");
+    }
+  }
+  if (Expected != InvalidSort && Out.Type != Expected)
+    return fail(Expr, "expected sort '" + Graph.sorts().name(Expected) +
+                          "' but expression has sort '" +
+                          Graph.sorts().name(Out.Type) + "'");
+  return true;
+}
+
+bool Frontend::typecheckAction(RuleCtx &Ctx, const SExpr &Form,
+                               std::vector<Action> &Out) {
+  if (!Form.isList() || Form.size() == 0 || !Form[0].isSymbol())
+    return fail(Form, "expected an action");
+  const std::string &Head = Form[0].Text;
+
+  if (Head == "set") {
+    if (Form.size() != 3 || !Form[1].isList() || Form[1].size() == 0 ||
+        !Form[1][0].isSymbol())
+      return fail(Form, "usage: (set (f args...) value)");
+    FunctionId Func;
+    if (!Graph.lookupFunctionName(Form[1][0].Text, Func))
+      return fail(Form[1], "unknown function '" + Form[1][0].Text + "'");
+    const FunctionInfo &Info = Graph.function(Func);
+    if (Form[1].size() - 1 != Info.numKeys())
+      return fail(Form[1], "function '" + Info.Decl.Name + "' expects " +
+                               std::to_string(Info.numKeys()) + " arguments");
+    Action Act;
+    Act.ActKind = Action::Kind::Set;
+    Act.Func = Func;
+    for (unsigned I = 0; I < Info.numKeys(); ++I) {
+      TypedExpr Arg;
+      if (!typecheckExpr(Ctx, Form[1][I + 1], Info.Decl.ArgSorts[I], Arg))
+        return false;
+      Act.Args.push_back(std::move(Arg));
+    }
+    if (!typecheckExpr(Ctx, Form[2], Info.Decl.OutSort, Act.Expr))
+      return false;
+    Out.push_back(std::move(Act));
+    return true;
+  }
+
+  if (Head == "union") {
+    if (Form.size() != 3)
+      return fail(Form, "usage: (union a b)");
+    Action Act;
+    Act.ActKind = Action::Kind::Union;
+    if (!typecheckExpr(Ctx, Form[1], InvalidSort, Act.Expr))
+      return false;
+    if (!Graph.sorts().isIdSort(Act.Expr.Type))
+      return fail(Form[1], "only values of user sorts can be unioned");
+    if (!typecheckExpr(Ctx, Form[2], Act.Expr.Type, Act.Expr2))
+      return false;
+    Out.push_back(std::move(Act));
+    return true;
+  }
+
+  if (Head == "let" || Head == "define") {
+    if (Form.size() != 3 || !Form[1].isSymbol())
+      return fail(Form, "usage: (let name expr)");
+    if (Ctx.Names.count(Form[1].Text))
+      return fail(Form, "'" + Form[1].Text + "' is already bound");
+    Action Act;
+    Act.ActKind = Action::Kind::Let;
+    if (!typecheckExpr(Ctx, Form[2], InvalidSort, Act.Expr))
+      return false;
+    uint32_t Slot = Ctx.NumSlots++;
+    Act.Var = Slot;
+    Ctx.Names[Form[1].Text] =
+        Binding{VarOrConst::makeVar(Slot), Act.Expr.Type};
+    Out.push_back(std::move(Act));
+    return true;
+  }
+
+  if (Head == "delete") {
+    if (Form.size() != 2 || !Form[1].isList() || Form[1].size() == 0 ||
+        !Form[1][0].isSymbol())
+      return fail(Form, "usage: (delete (f args...))");
+    FunctionId Func;
+    if (!Graph.lookupFunctionName(Form[1][0].Text, Func))
+      return fail(Form[1], "unknown function '" + Form[1][0].Text + "'");
+    const FunctionInfo &Info = Graph.function(Func);
+    if (Form[1].size() - 1 != Info.numKeys())
+      return fail(Form[1], "function '" + Info.Decl.Name + "' expects " +
+                               std::to_string(Info.numKeys()) + " arguments");
+    Action Act;
+    Act.ActKind = Action::Kind::Delete;
+    Act.Func = Func;
+    for (unsigned I = 0; I < Info.numKeys(); ++I) {
+      TypedExpr Arg;
+      if (!typecheckExpr(Ctx, Form[1][I + 1], Info.Decl.ArgSorts[I], Arg))
+        return false;
+      Act.Args.push_back(std::move(Arg));
+    }
+    Out.push_back(std::move(Act));
+    return true;
+  }
+
+  if (Head == "panic") {
+    Action Act;
+    Act.ActKind = Action::Kind::Panic;
+    Act.Message = Form.size() >= 2 && Form[1].isString() ? Form[1].Text
+                                                         : "explicit panic";
+    Out.push_back(std::move(Act));
+    return true;
+  }
+
+  // Bare call: a fact assertion for unit functions, a term insertion
+  // otherwise.
+  FunctionId Func;
+  if (Graph.lookupFunctionName(Head, Func) &&
+      Graph.function(Func).Decl.OutSort == SortTable::UnitSort) {
+    const FunctionInfo &Info = Graph.function(Func);
+    if (Form.size() - 1 != Info.numKeys())
+      return fail(Form, "function '" + Head + "' expects " +
+                            std::to_string(Info.numKeys()) + " arguments");
+    Action Act;
+    Act.ActKind = Action::Kind::Set;
+    Act.Func = Func;
+    for (unsigned I = 0; I < Info.numKeys(); ++I) {
+      TypedExpr Arg;
+      if (!typecheckExpr(Ctx, Form[I + 1], Info.Decl.ArgSorts[I], Arg))
+        return false;
+      Act.Args.push_back(std::move(Arg));
+    }
+    Act.Expr = TypedExpr::makeLit(Graph.mkUnit());
+    Out.push_back(std::move(Act));
+    return true;
+  }
+
+  Action Act;
+  Act.ActKind = Action::Kind::Eval;
+  if (!typecheckExpr(Ctx, Form, InvalidSort, Act.Expr))
+    return false;
+  Out.push_back(std::move(Act));
+  return true;
+}
+
+bool Frontend::typecheckCheckFact(const SExpr &Fact, CheckFact &Out) {
+  RuleCtx Ctx;
+  if (Fact.isCall("=") && Fact.size() == 3) {
+    Out.FactKind = CheckFact::Kind::Equal;
+    if (!typecheckExpr(Ctx, Fact[1], InvalidSort, Out.Lhs))
+      return false;
+    return typecheckExpr(Ctx, Fact[2], Out.Lhs.Type, Out.Rhs);
+  }
+  if (Fact.isCall("!=") && Fact.size() == 3) {
+    Out.FactKind = CheckFact::Kind::NotEqual;
+    if (!typecheckExpr(Ctx, Fact[1], InvalidSort, Out.Lhs))
+      return false;
+    return typecheckExpr(Ctx, Fact[2], Out.Lhs.Type, Out.Rhs);
+  }
+  Out.FactKind = CheckFact::Kind::Present;
+  return typecheckExpr(Ctx, Fact, InvalidSort, Out.Lhs);
+}

@@ -1,0 +1,157 @@
+//===- core/Frontend.h - egglog language frontend --------------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The egglog surface language (§3): parsing, static typechecking, and
+/// command execution. The Frontend owns an EGraph and an Engine and
+/// interprets programs in the s-expression syntax used throughout the
+/// paper, including the desugarings it describes:
+///
+///   (relation r (A B))      => function r : A B -> Unit
+///   (datatype T (C A) ...)  => sort T plus constructor functions
+///   (rewrite lhs rhs)       => (rule ((= __root lhs)) ((union __root rhs)))
+///   (define x e)            => nullary function x plus (set (x) e)
+///
+/// Rules are statically typechecked (§5.2: "egglog prevents common errors
+/// by statically typechecking rules").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_CORE_FRONTEND_H
+#define EGGLOG_CORE_FRONTEND_H
+
+#include "core/EGraph.h"
+#include "core/Engine.h"
+#include "support/SExpr.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace egglog {
+
+/// Interpreter for the egglog language; also the main library facade.
+class Frontend {
+public:
+  Frontend() : Eng(Graph) {}
+
+  /// Parses and executes a whole program. Returns false on the first
+  /// error; error() describes it. Check failures are errors.
+  bool execute(std::string_view Source);
+
+  /// Executes a single already-parsed top-level form.
+  bool executeForm(const SExpr &Form);
+
+  const std::string &error() const { return ErrorMsg; }
+
+  /// Output lines produced by extract (and other printing commands).
+  const std::vector<std::string> &outputs() const { return Outputs; }
+  void clearOutputs() { Outputs.clear(); }
+
+  EGraph &graph() { return Graph; }
+  Engine &engine() { return Eng; }
+
+  /// Options used by the (run ...) command; benchmarks flip SemiNaive or
+  /// the scheduler here.
+  RunOptions &runOptions() { return Options; }
+
+  /// Report of the most recent (run ...) command.
+  const RunReport &lastRun() const { return LastRun; }
+
+  /// Evaluates a ground expression in the current database without
+  /// creating terms; returns false if it is not present.
+  bool evalGround(std::string_view ExprSource, Value &Out);
+
+private:
+  EGraph Graph;
+  Engine Eng;
+  RunOptions Options;
+  RunReport LastRun;
+  std::string ErrorMsg;
+  std::vector<std::string> Outputs;
+
+  //===--- typechecking context ------------------------------------------===
+
+  /// A name binding inside a rule: either a query/let variable slot or a
+  /// constant.
+  struct Binding {
+    VarOrConst Term;
+    SortId Sort = 0;
+  };
+
+  /// State accumulated while typechecking one rule (or one top-level
+  /// action treated as a rule with an empty query).
+  struct RuleCtx {
+    Query Q;
+    std::unordered_map<std::string, Binding> Names;
+    /// Total slots including action lets (starts equal to Q.NumVars).
+    uint32_t NumSlots = 0;
+
+    uint32_t freshVar(SortId Sort) {
+      uint32_t Slot = Q.NumVars++;
+      Q.VarSorts.push_back(Sort);
+      NumSlots = std::max(NumSlots, Q.NumVars);
+      return Slot;
+    }
+  };
+
+  static constexpr SortId InvalidSort = UINT32_MAX;
+
+  bool fail(const SExpr &At, const std::string &Message);
+
+  //===--- command handlers ----------------------------------------------===
+
+  bool execSort(const SExpr &Form);
+  bool execDatatype(const SExpr &Form);
+  bool execFunction(const SExpr &Form);
+  bool execRelation(const SExpr &Form);
+  bool execRule(const SExpr &Form);
+  bool execRewrite(const SExpr &Form, bool Bidirectional);
+  bool execDefine(const SExpr &Form);
+  bool execRun(const SExpr &Form);
+  bool execCheck(const SExpr &Form, bool ExpectFailure);
+  bool execExtract(const SExpr &Form);
+  bool execTopLevelAction(const SExpr &Form);
+
+  bool makeRewriteRule(const SExpr &Lhs, const SExpr &Rhs,
+                       const SExpr *WhenList, const std::string &Name);
+
+  //===--- typechecking helpers ------------------------------------------===
+
+  bool parseSortName(const SExpr &Node, SortId &Out);
+
+  /// Flattens a query-side pattern, emitting atoms/prims into Ctx.
+  bool flattenPattern(RuleCtx &Ctx, const SExpr &Pattern, SortId Expected,
+                      Binding &Out);
+
+  /// Flattens one query fact ((= a b), (!= a b), a call pattern, or a
+  /// boolean primitive filter).
+  bool flattenQueryFact(RuleCtx &Ctx, const SExpr &Fact);
+
+  /// Typechecks an action-side expression into a TypedExpr.
+  bool typecheckExpr(RuleCtx &Ctx, const SExpr &Expr, SortId Expected,
+                     TypedExpr &Out);
+
+  /// Typechecks one action form.
+  bool typecheckAction(RuleCtx &Ctx, const SExpr &Form,
+                       std::vector<Action> &Out);
+
+  /// Typechecks a ground check fact.
+  bool typecheckCheckFact(const SExpr &Fact, CheckFact &Out);
+
+  /// Resolves (auto-registering generic overloads like != on demand).
+  bool resolvePrim(const SExpr &At, const std::string &Name,
+                   const std::vector<SortId> &ArgSorts, uint32_t &PrimId);
+
+  /// Makes a literal for an integer token under an expected sort.
+  Value literalFor(const SExpr &Node, SortId Expected);
+
+  bool ensureRebuilt();
+};
+
+} // namespace egglog
+
+#endif // EGGLOG_CORE_FRONTEND_H

@@ -1,0 +1,74 @@
+//===- core/Primitives.h - Builtin primitive registry ----------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of builtin primitive operations (i64 arithmetic, rational
+/// arithmetic, comparisons, string and set operations). Primitives are
+/// overloaded by argument sorts; the typechecker resolves each use to a
+/// concrete primitive id. Unlike egglog functions, primitives are computed,
+/// never stored, and may fail (e.g. division by zero), which aborts the
+/// enclosing match as in the paper's guarded-rewrite examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_CORE_PRIMITIVES_H
+#define EGGLOG_CORE_PRIMITIVES_H
+
+#include "core/Value.h"
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace egglog {
+
+class EGraph;
+
+/// One concrete overload of a primitive operation.
+struct Primitive {
+  std::string Name;
+  std::vector<SortId> ArgSorts;
+  SortId OutSort;
+  /// Computes the result; returns false on failure (the enclosing match or
+  /// action is abandoned).
+  std::function<bool(EGraph &, const Value *, Value &)> Apply;
+};
+
+/// The set of registered primitives, with overload resolution by name and
+/// argument sorts.
+class PrimitiveRegistry {
+public:
+  /// Registers an overload; returns its id.
+  uint32_t add(Primitive Prim);
+
+  /// Resolves \p Name against the given argument sorts. Returns false if no
+  /// overload matches.
+  bool resolve(const std::string &Name, const std::vector<SortId> &Args,
+               uint32_t &PrimId) const;
+
+  /// Returns true if any overload with this name exists.
+  bool knownName(const std::string &Name) const {
+    return ByName.count(Name) != 0;
+  }
+
+  const Primitive &get(uint32_t PrimId) const { return Prims[PrimId]; }
+
+  size_t size() const { return Prims.size(); }
+
+private:
+  std::vector<Primitive> Prims;
+  std::unordered_map<std::string, std::vector<uint32_t>> ByName;
+};
+
+/// Registers the default builtin primitives (i64, f64, bool, string,
+/// rational) into \p Registry. Set-sort primitives are registered lazily by
+/// the EGraph when a set sort is declared.
+void registerBuiltinPrimitives(PrimitiveRegistry &Registry);
+
+} // namespace egglog
+
+#endif // EGGLOG_CORE_PRIMITIVES_H

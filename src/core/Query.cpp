@@ -1,0 +1,461 @@
+//===- core/Query.cpp - Relational query execution --------------------------===//
+//
+// Part of egglog-cpp. See Query.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Query.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace egglog;
+
+namespace {
+
+/// Execution state for one atom: its filtered candidate rows sorted by the
+/// global variable order, and the currently narrowed range.
+struct AtomExec {
+  const QueryAtom *Atom = nullptr;
+  /// Filtered candidate rows (pointers into the table's cells; stable
+  /// because queries never mutate tables).
+  std::vector<const Value *> Rows;
+  /// The atom's distinct variables as (variable, term index) pairs, sorted
+  /// by the global variable order. Only the first occurrence of a repeated
+  /// variable is listed; consistency of repeats is enforced when rows are
+  /// materialized.
+  std::vector<std::pair<uint32_t, unsigned>> Cols;
+  size_t Lo = 0, Hi = 0;
+  /// Number of leading columns already bound at the current depth.
+  unsigned Depth = 0;
+};
+
+/// Backtracking trail entry: a variable binding or a primitive execution to
+/// undo.
+struct TrailEntry {
+  bool IsVar;
+  uint32_t Index;
+};
+
+/// The generic-join interpreter.
+class Joiner {
+public:
+  Joiner(EGraph &Graph, const Query &Q, const MatchCallback &Callback,
+         const std::function<bool()> *Cancel)
+      : Graph(Graph), Q(Q), Callback(Callback), Cancel(Cancel) {}
+
+  void run(const std::vector<AtomFilter> &Filters, uint32_t DeltaBound) {
+    if (!materialize(Filters, DeltaBound))
+      return;
+    chooseVariableOrder();
+    sortAtoms();
+    Env.assign(Q.NumVars, Value());
+    BoundFlags.assign(Q.NumVars, false);
+    PrimDone.assign(Q.Prims.size(), false);
+    // Bind nothing yet, but primitives with no variable inputs can run
+    // immediately (e.g. constant filters).
+    if (!runReadyPrims())
+      return;
+    joinLevel(0);
+  }
+
+  void runNaive(const std::vector<AtomFilter> &Filters, uint32_t DeltaBound) {
+    if (!materialize(Filters, DeltaBound))
+      return;
+    Env.assign(Q.NumVars, Value());
+    BoundFlags.assign(Q.NumVars, false);
+    PrimDone.assign(Q.Prims.size(), false);
+    if (!runReadyPrims())
+      return;
+    naiveLevel(0);
+  }
+
+private:
+  EGraph &Graph;
+  const Query &Q;
+  const MatchCallback &Callback;
+  const std::function<bool()> *Cancel;
+  uint64_t StepCount = 0;
+  bool Cancelled = false;
+
+  bool checkCancel() {
+    if (Cancelled)
+      return true;
+    if (!Cancel || (++StepCount & 0xFFF) != 0)
+      return false;
+    Cancelled = (*Cancel)();
+    return Cancelled;
+  }
+
+  std::vector<AtomExec> Atoms;
+  std::vector<uint32_t> VarOrder;
+  std::vector<Value> Env;
+  std::vector<bool> BoundFlags;
+  std::vector<bool> PrimDone;
+  std::vector<TrailEntry> Trail;
+
+  /// Builds each atom's candidate row list. Returns false if any atom has
+  /// no candidates (query is empty).
+  bool materialize(const std::vector<AtomFilter> &Filters,
+                   uint32_t DeltaBound) {
+    Atoms.clear();
+    Atoms.reserve(Q.Atoms.size());
+    for (size_t AtomIndex = 0; AtomIndex < Q.Atoms.size(); ++AtomIndex) {
+      const QueryAtom &Atom = Q.Atoms[AtomIndex];
+      AtomFilter Filter =
+          Filters.empty() ? AtomFilter::All : Filters[AtomIndex];
+      AtomExec Exec;
+      Exec.Atom = &Atom;
+
+      // Canonicalize the constants once.
+      std::vector<std::pair<unsigned, Value>> Consts;
+      std::vector<std::pair<unsigned, unsigned>> Repeats;
+      std::vector<bool> SeenVar;
+      std::vector<unsigned> FirstPos;
+      for (unsigned I = 0; I < Atom.Terms.size(); ++I) {
+        const VarOrConst &Term = Atom.Terms[I];
+        if (!Term.IsVar) {
+          Consts.emplace_back(I, Graph.canonicalize(Term.Const));
+          continue;
+        }
+        if (Term.Var >= SeenVar.size()) {
+          SeenVar.resize(Term.Var + 1, false);
+          FirstPos.resize(Term.Var + 1, 0);
+        }
+        if (SeenVar[Term.Var]) {
+          Repeats.emplace_back(FirstPos[Term.Var], I);
+        } else {
+          SeenVar[Term.Var] = true;
+          FirstPos[Term.Var] = I;
+          Exec.Cols.emplace_back(Term.Var, I);
+        }
+      }
+
+      const Table &T = *Graph.function(Atom.Func).Storage;
+      size_t Count = T.rowCount();
+      for (size_t Row = 0; Row < Count; ++Row) {
+        if (!T.isLive(Row))
+          continue;
+        uint32_t Stamp = T.stamp(Row);
+        if (Filter == AtomFilter::Old && Stamp >= DeltaBound)
+          continue;
+        if (Filter == AtomFilter::New && Stamp < DeltaBound)
+          continue;
+        const Value *Cells = T.row(Row);
+        bool Match = true;
+        for (const auto &[Pos, Const] : Consts) {
+          if (Cells[Pos] != Const) {
+            Match = false;
+            break;
+          }
+        }
+        if (Match) {
+          for (const auto &[First, Later] : Repeats) {
+            if (Cells[First] != Cells[Later]) {
+              Match = false;
+              break;
+            }
+          }
+        }
+        if (Match)
+          Exec.Rows.push_back(Cells);
+      }
+      if (Exec.Rows.empty())
+        return false;
+      Exec.Lo = 0;
+      Exec.Hi = Exec.Rows.size();
+      Atoms.push_back(std::move(Exec));
+    }
+    return true;
+  }
+
+  /// Greedy variable ordering: most-constrained (highest atom occurrence)
+  /// first, breaking ties toward variables whose atoms are small.
+  void chooseVariableOrder() {
+    std::vector<unsigned> Occurrences(Q.NumVars, 0);
+    std::vector<size_t> MinAtomSize(Q.NumVars, SIZE_MAX);
+    for (const AtomExec &Exec : Atoms) {
+      for (const auto &[Var, Pos] : Exec.Cols) {
+        ++Occurrences[Var];
+        MinAtomSize[Var] = std::min(MinAtomSize[Var], Exec.Rows.size());
+      }
+    }
+    VarOrder.clear();
+    for (uint32_t Var = 0; Var < Q.NumVars; ++Var)
+      if (Occurrences[Var] > 0)
+        VarOrder.push_back(Var);
+    std::stable_sort(VarOrder.begin(), VarOrder.end(),
+                     [&](uint32_t A, uint32_t B) {
+                       if (Occurrences[A] != Occurrences[B])
+                         return Occurrences[A] > Occurrences[B];
+                       return MinAtomSize[A] < MinAtomSize[B];
+                     });
+    // Re-sort each atom's columns by the chosen order.
+    std::vector<unsigned> Position(Q.NumVars, 0);
+    for (unsigned I = 0; I < VarOrder.size(); ++I)
+      Position[VarOrder[I]] = I;
+    for (AtomExec &Exec : Atoms)
+      std::stable_sort(Exec.Cols.begin(), Exec.Cols.end(),
+                       [&](const auto &A, const auto &B) {
+                         return Position[A.first] < Position[B.first];
+                       });
+  }
+
+  void sortAtoms() {
+    for (AtomExec &Exec : Atoms) {
+      std::sort(Exec.Rows.begin(), Exec.Rows.end(),
+                [&](const Value *A, const Value *B) {
+                  for (const auto &[Var, Pos] : Exec.Cols) {
+                    if (A[Pos] != B[Pos])
+                      return A[Pos] < B[Pos];
+                  }
+                  return false;
+                });
+    }
+  }
+
+  size_t trailMark() const { return Trail.size(); }
+
+  void trailUndo(size_t Mark) {
+    while (Trail.size() > Mark) {
+      TrailEntry Entry = Trail.back();
+      Trail.pop_back();
+      if (Entry.IsVar)
+        BoundFlags[Entry.Index] = false;
+      else
+        PrimDone[Entry.Index] = false;
+    }
+  }
+
+  bool bindVar(uint32_t Var, Value V) {
+    if (BoundFlags[Var])
+      return Env[Var] == V;
+    Env[Var] = V;
+    BoundFlags[Var] = true;
+    Trail.push_back(TrailEntry{true, Var});
+    return true;
+  }
+
+  bool termReady(const VarOrConst &Term) const {
+    return !Term.IsVar || BoundFlags[Term.Var];
+  }
+
+  Value termValue(const VarOrConst &Term) const {
+    return Term.IsVar ? Env[Term.Var] : Term.Const;
+  }
+
+  /// Runs every primitive whose inputs are available; returns false if any
+  /// fails or contradicts an existing binding.
+  bool runReadyPrims() {
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (size_t I = 0; I < Q.Prims.size(); ++I) {
+        if (PrimDone[I])
+          continue;
+        const PrimComputation &P = Q.Prims[I];
+        bool Ready = true;
+        for (const VarOrConst &Arg : P.Args) {
+          if (!termReady(Arg)) {
+            Ready = false;
+            break;
+          }
+        }
+        if (!Ready)
+          continue;
+        std::vector<Value> Args(P.Args.size());
+        for (size_t J = 0; J < P.Args.size(); ++J)
+          Args[J] = termValue(P.Args[J]);
+        Value Result;
+        if (!Graph.primitives().get(P.Prim).Apply(Graph, Args.data(), Result))
+          return false;
+        if (P.Out.IsVar) {
+          if (!bindVar(P.Out.Var, Result))
+            return false;
+        } else if (Result != P.Out.Const) {
+          return false;
+        }
+        PrimDone[I] = true;
+        Trail.push_back(TrailEntry{false, static_cast<uint32_t>(I)});
+        Progress = true;
+      }
+    }
+    return true;
+  }
+
+  /// Narrows atom \p Exec (whose next column must be bound to \p V) to the
+  /// equal range for \p V; returns false if empty. Saves nothing; caller
+  /// snapshots ranges.
+  bool narrowTo(AtomExec &Exec, Value V) {
+    unsigned Pos = Exec.Cols[Exec.Depth].second;
+    auto Begin = Exec.Rows.begin() + Exec.Lo;
+    auto End = Exec.Rows.begin() + Exec.Hi;
+    auto Range = std::equal_range(
+        Begin, End, V,
+        [Pos](const auto &A, const auto &B) {
+          if constexpr (std::is_same_v<std::decay_t<decltype(A)>, Value>)
+            return A < B[Pos];
+          else
+            return A[Pos] < B;
+        });
+    if (Range.first == Range.second)
+      return false;
+    Exec.Lo = Range.first - Exec.Rows.begin();
+    Exec.Hi = Range.second - Exec.Rows.begin();
+    ++Exec.Depth;
+    return true;
+  }
+
+  void emitMatch() {
+    // All join variables are bound; flush remaining primitives (those whose
+    // outputs feed nothing else may still be pending).
+    size_t Mark = trailMark();
+    if (runReadyPrims()) {
+      bool AllDone = true;
+      for (size_t I = 0; I < Q.Prims.size(); ++I)
+        AllDone &= static_cast<bool>(PrimDone[I]);
+      assert(AllDone && "primitive left unexecuted; typechecker should have "
+                        "rejected this query");
+      Callback(Env);
+    }
+    trailUndo(Mark);
+  }
+
+  void joinLevel(size_t Level) {
+    if (checkCancel())
+      return;
+    if (Level == VarOrder.size()) {
+      emitMatch();
+      return;
+    }
+    uint32_t Var = VarOrder[Level];
+
+    // Participants: atoms whose next unbound column is Var.
+    std::vector<size_t> Participants;
+    for (size_t I = 0; I < Atoms.size(); ++I) {
+      AtomExec &Exec = Atoms[I];
+      if (Exec.Depth < Exec.Cols.size() && Exec.Cols[Exec.Depth].first == Var)
+        Participants.push_back(I);
+    }
+
+    // Snapshot the participant ranges for backtracking.
+    struct Saved {
+      size_t Lo, Hi;
+      unsigned Depth;
+    };
+    std::vector<Saved> SavedRanges(Participants.size());
+    auto Snapshot = [&]() {
+      for (size_t I = 0; I < Participants.size(); ++I) {
+        AtomExec &Exec = Atoms[Participants[I]];
+        SavedRanges[I] = Saved{Exec.Lo, Exec.Hi, Exec.Depth};
+      }
+    };
+    auto Restore = [&]() {
+      for (size_t I = 0; I < Participants.size(); ++I) {
+        AtomExec &Exec = Atoms[Participants[I]];
+        Exec.Lo = SavedRanges[I].Lo;
+        Exec.Hi = SavedRanges[I].Hi;
+        Exec.Depth = SavedRanges[I].Depth;
+      }
+    };
+
+    if (BoundFlags[Var]) {
+      // The variable was computed by a primitive: check, don't enumerate.
+      Snapshot();
+      bool Alive = true;
+      for (size_t Index : Participants)
+        if (!narrowTo(Atoms[Index], Env[Var])) {
+          Alive = false;
+          break;
+        }
+      if (Alive)
+        joinLevel(Level + 1);
+      Restore();
+      return;
+    }
+
+    assert(!Participants.empty() &&
+           "join variable not constrained by any atom");
+
+    // Driver: the participant with the smallest current range.
+    size_t Driver = Participants[0];
+    for (size_t Index : Participants)
+      if (Atoms[Index].Hi - Atoms[Index].Lo <
+          Atoms[Driver].Hi - Atoms[Driver].Lo)
+        Driver = Index;
+    AtomExec &DriverExec = Atoms[Driver];
+    unsigned DriverPos = DriverExec.Cols[DriverExec.Depth].second;
+
+    size_t GroupStart = DriverExec.Lo;
+    size_t DriverHi = DriverExec.Hi;
+    while (GroupStart < DriverHi) {
+      Value Candidate = DriverExec.Rows[GroupStart][DriverPos];
+      size_t GroupEnd = GroupStart + 1;
+      while (GroupEnd < DriverHi &&
+             DriverExec.Rows[GroupEnd][DriverPos] == Candidate)
+        ++GroupEnd;
+
+      Snapshot();
+      size_t Mark = trailMark();
+      bool Alive = true;
+      for (size_t Index : Participants) {
+        if (Index == Driver) {
+          AtomExec &Exec = Atoms[Index];
+          Exec.Lo = GroupStart;
+          Exec.Hi = GroupEnd;
+          ++Exec.Depth;
+          continue;
+        }
+        if (!narrowTo(Atoms[Index], Candidate)) {
+          Alive = false;
+          break;
+        }
+      }
+      if (Alive && bindVar(Var, Candidate) && runReadyPrims())
+        joinLevel(Level + 1);
+      trailUndo(Mark);
+      Restore();
+
+      GroupStart = GroupEnd;
+    }
+  }
+
+  /// Baseline nested-loop join for the ablation study: walks atoms in
+  /// declaration order binding variables row by row.
+  void naiveLevel(size_t AtomIndex) {
+    if (checkCancel())
+      return;
+    if (AtomIndex == Atoms.size()) {
+      emitMatch();
+      return;
+    }
+    AtomExec &Exec = Atoms[AtomIndex];
+    for (const Value *Row : Exec.Rows) {
+      size_t Mark = trailMark();
+      bool Alive = true;
+      for (const auto &[Var, Pos] : Exec.Cols) {
+        if (!bindVar(Var, Row[Pos])) {
+          Alive = false;
+          break;
+        }
+      }
+      if (Alive && runReadyPrims())
+        naiveLevel(AtomIndex + 1);
+      trailUndo(Mark);
+    }
+  }
+};
+
+} // namespace
+
+void egglog::executeQuery(EGraph &Graph, const Query &Q,
+                          const std::vector<AtomFilter> &Filters,
+                          uint32_t DeltaBound, const MatchCallback &Callback,
+                          bool UseGenericJoin,
+                          const std::function<bool()> *Cancel) {
+  Joiner J(Graph, Q, Callback, Cancel);
+  if (UseGenericJoin)
+    J.run(Filters, DeltaBound);
+  else
+    J.runNaive(Filters, DeltaBound);
+}

@@ -1,0 +1,64 @@
+//===- core/Query.h - Relational query execution ---------------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes flattened conjunctive queries against the database with a
+/// sort-based worst-case-optimal generic join (§5.1 "Query Engine", after
+/// relational e-matching and Ngo et al. 2018). Each atom's candidate rows
+/// are sorted by the query's global variable order, and variables are bound
+/// one at a time by intersecting the atoms that contain them. Primitive
+/// computations run as soon as their inputs are bound, pruning eagerly.
+///
+/// For semi-naïve evaluation (§4.3), a query can be executed with one atom
+/// restricted to the delta (rows stamped at or after a bound), earlier
+/// atoms restricted to old rows, and later atoms unrestricted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_CORE_QUERY_H
+#define EGGLOG_CORE_QUERY_H
+
+#include "core/Ast.h"
+#include "core/EGraph.h"
+
+#include <functional>
+#include <vector>
+
+namespace egglog {
+
+/// Restriction applied to one atom's rows during semi-naïve evaluation.
+enum class AtomFilter : uint8_t {
+  All, ///< Every live row.
+  Old, ///< Live rows stamped strictly before the delta bound.
+  New, ///< Live rows stamped at or after the delta bound.
+};
+
+/// Callback invoked once per substitution; the environment holds a value
+/// for every query variable.
+using MatchCallback = std::function<void(const std::vector<Value> &)>;
+
+/// Executes \p Q against \p Graph. \p Filters gives a per-atom restriction
+/// (it must have one entry per atom, or be empty for all-All), and
+/// \p DeltaBound is the timestamp splitting Old from New.
+///
+/// If \p UseGenericJoin is false, a naive left-to-right nested-loop join is
+/// used instead (kept for the ablation benchmark). If \p Cancel is
+/// provided it is polled periodically; returning true aborts the search
+/// (used to enforce run timeouts inside a single large join).
+void executeQuery(EGraph &Graph, const Query &Q,
+                  const std::vector<AtomFilter> &Filters, uint32_t DeltaBound,
+                  const MatchCallback &Callback, bool UseGenericJoin = true,
+                  const std::function<bool()> *Cancel = nullptr);
+
+/// Convenience wrapper: runs \p Q with no delta restriction.
+inline void executeQuery(EGraph &Graph, const Query &Q,
+                         const MatchCallback &Callback) {
+  executeQuery(Graph, Q, {}, 0, Callback);
+}
+
+} // namespace egglog
+
+#endif // EGGLOG_CORE_QUERY_H

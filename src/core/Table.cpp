@@ -1,0 +1,165 @@
+//===- core/Table.cpp - Functional database tables ------------------------===//
+//
+// Part of egglog-cpp. See Table.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Table.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace egglog;
+
+Table::Table(unsigned NumKeys) : NumKeys(NumKeys) {
+  Slots.assign(16, 0);
+  SlotMask = Slots.size() - 1;
+}
+
+uint64_t Table::hashKeys(const Value *Keys) const {
+  uint64_t Hash = 1469598103934665603ull;
+  for (unsigned I = 0; I < NumKeys; ++I) {
+    Hash ^= (static_cast<uint64_t>(Keys[I].Sort) << 32) ^ hashMix(Keys[I].Bits);
+    Hash *= 1099511628211ull;
+  }
+  return hashMix(Hash);
+}
+
+bool Table::keysEqual(size_t Row, const Value *Keys) const {
+  const Value *Stored = row(Row);
+  for (unsigned I = 0; I < NumKeys; ++I)
+    if (Stored[I] != Keys[I])
+      return false;
+  return true;
+}
+
+int64_t Table::findRow(const Value *Keys) const {
+  uint64_t Hash = hashKeys(Keys);
+  size_t Slot = Hash & SlotMask;
+  while (true) {
+    uint64_t Entry = Slots[Slot];
+    if (Entry == 0)
+      return -1;
+    size_t Row = Entry - 1;
+    if (keysEqual(Row, Keys))
+      return static_cast<int64_t>(Row);
+    Slot = (Slot + 1) & SlotMask;
+  }
+}
+
+std::optional<Value> Table::lookup(const Value *Keys) const {
+  int64_t Row = findRow(Keys);
+  if (Row < 0)
+    return std::nullopt;
+  return output(static_cast<size_t>(Row));
+}
+
+void Table::growIndex() {
+  std::vector<uint64_t> OldSlots = std::move(Slots);
+  Slots.assign(OldSlots.size() * 2, 0);
+  SlotMask = Slots.size() - 1;
+  for (uint64_t Entry : OldSlots) {
+    if (Entry == 0)
+      continue;
+    size_t Row = Entry - 1;
+    uint64_t Hash = hashKeys(row(Row));
+    size_t Slot = Hash & SlotMask;
+    while (Slots[Slot] != 0)
+      Slot = (Slot + 1) & SlotMask;
+    Slots[Slot] = Entry;
+  }
+}
+
+void Table::indexInsert(size_t Row) {
+  // Keep load factor under 70%.
+  if ((NumLive + 1) * 10 >= Slots.size() * 7)
+    growIndex();
+  uint64_t Hash = hashKeys(row(Row));
+  size_t Slot = Hash & SlotMask;
+  while (Slots[Slot] != 0)
+    Slot = (Slot + 1) & SlotMask;
+  Slots[Slot] = Row + 1;
+}
+
+void Table::indexErase(const Value *Keys) {
+  // Robin-hood-free open addressing requires backward-shift deletion to
+  // keep probe chains intact.
+  uint64_t Hash = hashKeys(Keys);
+  size_t Slot = Hash & SlotMask;
+  while (true) {
+    uint64_t Entry = Slots[Slot];
+    assert(Entry != 0 && "erasing a key that is not indexed");
+    if (keysEqual(Entry - 1, Keys))
+      break;
+    Slot = (Slot + 1) & SlotMask;
+  }
+  // Backward-shift: walk the cluster and move entries whose ideal slot
+  // precedes the vacated hole.
+  size_t Hole = Slot;
+  size_t Probe = (Slot + 1) & SlotMask;
+  while (Slots[Probe] != 0) {
+    size_t Ideal = hashKeys(row(Slots[Probe] - 1)) & SlotMask;
+    // Does the entry at Probe want to live at or before Hole (cyclically)?
+    bool CanMove = ((Probe - Ideal) & SlotMask) >= ((Probe - Hole) & SlotMask);
+    if (CanMove) {
+      Slots[Hole] = Slots[Probe];
+      Hole = Probe;
+    }
+    Probe = (Probe + 1) & SlotMask;
+  }
+  Slots[Hole] = 0;
+}
+
+std::optional<Value> Table::insert(const Value *Keys, Value Out,
+                                   uint32_t Stamp) {
+  int64_t Existing = findRow(Keys);
+  if (Existing >= 0) {
+    size_t Row = static_cast<size_t>(Existing);
+    Value Old = output(Row);
+    if (Old == Out)
+      return std::nullopt;
+    // Kill the old row and unlink it from the index, then fall through to
+    // append a refreshed row.
+    Live[Row] = false;
+    --NumLive;
+    indexErase(Keys);
+    size_t NewRow = Stamps.size();
+    Cells.insert(Cells.end(), Keys, Keys + NumKeys);
+    Cells.push_back(Out);
+    Stamps.push_back(Stamp);
+    Live.push_back(true);
+    ++NumLive;
+    indexInsert(NewRow);
+    return Old;
+  }
+  size_t NewRow = Stamps.size();
+  Cells.insert(Cells.end(), Keys, Keys + NumKeys);
+  Cells.push_back(Out);
+  Stamps.push_back(Stamp);
+  Live.push_back(true);
+  ++NumLive;
+  indexInsert(NewRow);
+  return std::nullopt;
+}
+
+bool Table::erase(const Value *Keys) {
+  int64_t Existing = findRow(Keys);
+  if (Existing < 0)
+    return false;
+  size_t Row = static_cast<size_t>(Existing);
+  Live[Row] = false;
+  --NumLive;
+  indexErase(Keys);
+  return true;
+}
+
+void Table::clear() {
+  Cells.clear();
+  Stamps.clear();
+  Live.clear();
+  NumLive = 0;
+  Slots.assign(16, 0);
+  SlotMask = Slots.size() - 1;
+}

@@ -1,0 +1,94 @@
+//===- core/Table.h - Functional database tables ---------------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backing store of an egglog function (§3.2, §5.1). Unlike a Datalog
+/// relation (a set), a function is a *map* from key tuples to one output,
+/// with the functional dependency enforced at insertion time. Rows are
+/// append-only: updating a key kills the old row and appends a fresh one
+/// stamped with the current iteration, so the semi-naïve delta of iteration
+/// i is exactly the live suffix of rows appended during iteration i
+/// (Algorithm 1 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_CORE_TABLE_H
+#define EGGLOG_CORE_TABLE_H
+
+#include "core/Value.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace egglog {
+
+/// A single function's storage: rows of (keys..., output), a liveness
+/// bitmap, insertion timestamps, and an open-addressing index on keys.
+class Table {
+public:
+  explicit Table(unsigned NumKeys);
+
+  unsigned numKeys() const { return NumKeys; }
+  /// Number of values per row (keys plus output).
+  unsigned rowWidth() const { return NumKeys + 1; }
+
+  /// Number of live rows.
+  size_t liveCount() const { return NumLive; }
+  /// Number of row slots ever appended (including dead rows).
+  size_t rowCount() const { return Stamps.size(); }
+
+  /// Looks up the output for a key tuple; nullopt if absent.
+  std::optional<Value> lookup(const Value *Keys) const;
+
+  /// Returns the row index holding \p Keys, or -1.
+  int64_t findRow(const Value *Keys) const;
+
+  /// Inserts keys -> Out with the given timestamp. If the key was present,
+  /// the old row is killed, the old output returned, and the new row
+  /// appended (even if the output is unchanged the row is refreshed only
+  /// when \p Out differs, to keep deltas small).
+  ///
+  /// \returns the previous output if the key existed with a different
+  /// output; nullopt if this was a fresh key or the output was identical.
+  std::optional<Value> insert(const Value *Keys, Value Out, uint32_t Stamp);
+
+  /// Removes the row for a key tuple if present; returns true if removed.
+  bool erase(const Value *Keys);
+
+  bool isLive(size_t Row) const { return Live[Row]; }
+  uint32_t stamp(size_t Row) const { return Stamps[Row]; }
+
+  /// Pointer to the first value of a row (NumKeys keys then the output).
+  const Value *row(size_t Row) const { return &Cells[Row * rowWidth()]; }
+  Value output(size_t Row) const { return Cells[Row * rowWidth() + NumKeys]; }
+
+  /// Clears all rows (used by `pop`-less resets in tests).
+  void clear();
+
+private:
+  unsigned NumKeys;
+  std::vector<Value> Cells;
+  std::vector<uint32_t> Stamps;
+  std::vector<bool> Live;
+  size_t NumLive = 0;
+
+  /// Open-addressing hash index mapping key tuples to their live row.
+  /// Slots hold row index + 1; 0 means empty. Dead rows are unlinked
+  /// eagerly on kill.
+  std::vector<uint64_t> Slots;
+  size_t SlotMask = 0;
+
+  uint64_t hashKeys(const Value *Keys) const;
+  bool keysEqual(size_t Row, const Value *Keys) const;
+  void growIndex();
+  void indexInsert(size_t Row);
+  void indexErase(const Value *Keys);
+};
+
+} // namespace egglog
+
+#endif // EGGLOG_CORE_TABLE_H

@@ -1,0 +1,78 @@
+//===- core/UnionFind.h - Canonicalizing union-find ------------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The union-find (disjoint set) structure over uninterpreted ids (§3.3 of
+/// the paper, after Tarjan 1975). The canonical representative of a class is
+/// always the *smallest* id in the class, matching the paper's
+/// canonicalization function "min over the equivalence class" (§4.2); this
+/// keeps rebuilding deterministic. Path compression keeps finds cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_CORE_UNIONFIND_H
+#define EGGLOG_CORE_UNIONFIND_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace egglog {
+
+/// A union-find over dense uint64 ids with min-id canonical representatives.
+class UnionFind {
+public:
+  /// Creates a fresh singleton class and returns its id ("make-set").
+  uint64_t makeSet() {
+    uint64_t Id = Parents.size();
+    Parents.push_back(Id);
+    return Id;
+  }
+
+  /// Number of ids ever created.
+  size_t size() const { return Parents.size(); }
+
+  /// Returns the canonical (smallest) id of the class containing \p Id.
+  uint64_t find(uint64_t Id) const {
+    assert(Id < Parents.size() && "find of unknown id");
+    // Iterative path halving; Parents is mutable for amortized compression.
+    while (Parents[Id] != Id) {
+      Parents[Id] = Parents[Parents[Id]];
+      Id = Parents[Id];
+    }
+    return Id;
+  }
+
+  /// Returns true if the two ids are currently equivalent.
+  bool congruent(uint64_t A, uint64_t B) const { return find(A) == find(B); }
+
+  /// Unions the classes of \p A and \p B; returns the canonical id of the
+  /// merged class (the smaller of the two roots). Increments the union
+  /// counter only if the classes were distinct.
+  uint64_t unite(uint64_t A, uint64_t B) {
+    uint64_t RootA = find(A), RootB = find(B);
+    if (RootA == RootB)
+      return RootA;
+    if (RootB < RootA)
+      std::swap(RootA, RootB);
+    Parents[RootB] = RootA;
+    ++UnionCount;
+    return RootA;
+  }
+
+  /// Total number of effective (class-merging) unions performed.
+  uint64_t unionCount() const { return UnionCount; }
+
+private:
+  mutable std::vector<uint64_t> Parents;
+  uint64_t UnionCount = 0;
+};
+
+} // namespace egglog
+
+#endif // EGGLOG_CORE_UNIONFIND_H

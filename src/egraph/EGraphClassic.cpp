@@ -1,0 +1,160 @@
+//===- egraph/EGraphClassic.cpp - Classic egg-style e-graph -----------------===//
+//
+// Part of egglog-cpp. See EGraphClassic.h for an overview. The rebuild
+// algorithm follows egg (Willsey et al. 2021), itself based on Downey,
+// Sethi and Tarjan's congruence closure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "egraph/EGraphClassic.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace egglog;
+using namespace egglog::classic;
+
+size_t ENodeHash::operator()(const ENode &Node) const {
+  uint64_t Hash = hashMix((static_cast<uint64_t>(Node.Op) << 32) ^
+                          static_cast<uint64_t>(Node.Payload));
+  for (ClassId Child : Node.Children)
+    Hash = hashCombine(Hash, hashMix(Child));
+  return Hash;
+}
+
+ENode EGraphClassic::canonicalizeNode(const ENode &Node) const {
+  ENode Canonical = Node;
+  for (ClassId &Child : Canonical.Children)
+    Child = find(Child);
+  return Canonical;
+}
+
+ClassId EGraphClassic::add(ENode Node) {
+  ENode Canonical = canonicalizeNode(Node);
+  auto It = Hashcons.find(Canonical);
+  if (It != Hashcons.end())
+    return find(It->second);
+  ClassId Id = static_cast<ClassId>(UF.makeSet());
+  assert(Id == Classes.size() && "class table out of sync with union-find");
+  Classes.emplace_back();
+  Classes[Id].Nodes.push_back(Canonical);
+  for (ClassId Child : Canonical.Children)
+    Classes[find(Child)].Parents.emplace_back(Canonical, Id);
+  Hashcons.emplace(std::move(Canonical), Id);
+  return Id;
+}
+
+ClassId EGraphClassic::addLeaf(const std::string &Op, int64_t Payload) {
+  ENode Node;
+  Node.Op = opId(Op);
+  Node.Payload = Payload;
+  return add(std::move(Node));
+}
+
+ClassId EGraphClassic::addCall(const std::string &Op,
+                               const std::vector<ClassId> &Children) {
+  ENode Node;
+  Node.Op = opId(Op);
+  Node.Children = Children;
+  return add(std::move(Node));
+}
+
+bool EGraphClassic::merge(ClassId A, ClassId B) {
+  ClassId RootA = find(A), RootB = find(B);
+  if (RootA == RootB)
+    return false;
+  ClassId Root = static_cast<ClassId>(UF.unite(RootA, RootB));
+  ClassId Other = Root == RootA ? RootB : RootA;
+  // Move nodes and parents into the surviving class.
+  EClass &Winner = Classes[Root];
+  EClass &Loser = Classes[Other];
+  Winner.Nodes.insert(Winner.Nodes.end(),
+                      std::make_move_iterator(Loser.Nodes.begin()),
+                      std::make_move_iterator(Loser.Nodes.end()));
+  Winner.Parents.insert(Winner.Parents.end(),
+                        std::make_move_iterator(Loser.Parents.begin()),
+                        std::make_move_iterator(Loser.Parents.end()));
+  Loser.Nodes.clear();
+  Loser.Parents.clear();
+  Worklist.push_back(Root);
+  return true;
+}
+
+void EGraphClassic::repair(ClassId Id) {
+  EClass &Class = Classes[Id];
+
+  // Re-canonicalize every parent in the hashcons; collisions merge.
+  std::vector<std::pair<ENode, ClassId>> Parents;
+  Parents.swap(Class.Parents);
+  for (auto &[PNode, PClass] : Parents) {
+    // Remove the entry under the stored (possibly stale) key before
+    // re-inserting under the canonical one.
+    Hashcons.erase(PNode);
+    PNode = canonicalizeNode(PNode);
+    PClass = find(PClass);
+    auto It = Hashcons.find(PNode);
+    if (It != Hashcons.end()) {
+      // Congruence: two parents became identical.
+      merge(PClass, It->second);
+      It->second = find(PClass);
+    } else {
+      Hashcons.emplace(PNode, PClass);
+    }
+  }
+
+  // Deduplicate parents (the class may have been merged meanwhile; write
+  // into the *current* canonical class).
+  EClass &Current = Classes[find(Id)];
+  std::unordered_map<ENode, ClassId, ENodeHash> Deduped;
+  for (auto &[PNode, PClass] : Parents) {
+    ENode Canonical = canonicalizeNode(PNode);
+    auto [It, Fresh] = Deduped.emplace(Canonical, find(PClass));
+    if (!Fresh)
+      merge(It->second, PClass);
+  }
+  for (auto &[PNode, PClass] : Deduped)
+    Current.Parents.emplace_back(PNode, find(PClass));
+
+  // Deduplicate the class's own nodes.
+  EClass &Target = Classes[find(Id)];
+  std::vector<ENode> Nodes;
+  Nodes.swap(Target.Nodes);
+  std::unordered_map<ENode, bool, ENodeHash> Seen;
+  for (ENode &Node : Nodes) {
+    ENode Canonical = canonicalizeNode(Node);
+    if (Seen.emplace(Canonical, true).second)
+      Target.Nodes.push_back(std::move(Canonical));
+  }
+}
+
+void EGraphClassic::rebuild() {
+  while (!Worklist.empty()) {
+    std::vector<ClassId> Todo;
+    Todo.swap(Worklist);
+    // Deduplicate canonical ids to repair each class once per round.
+    for (ClassId &Id : Todo)
+      Id = find(Id);
+    std::sort(Todo.begin(), Todo.end());
+    Todo.erase(std::unique(Todo.begin(), Todo.end()), Todo.end());
+    for (ClassId Id : Todo)
+      repair(Id);
+  }
+}
+
+size_t EGraphClassic::numClasses() const {
+  size_t Count = 0;
+  for (ClassId Id = 0; Id < Classes.size(); ++Id)
+    if (find(Id) == Id)
+      ++Count;
+  return Count;
+}
+
+std::vector<ClassId> EGraphClassic::canonicalClasses() const {
+  std::vector<ClassId> Result;
+  for (ClassId Id = 0; Id < Classes.size(); ++Id)
+    if (find(Id) == Id && !Classes[Id].Nodes.empty())
+      Result.push_back(Id);
+  return Result;
+}

@@ -1,0 +1,152 @@
+//===- egraph/Matcher.cpp - Top-down backtracking e-matching ----------------===//
+//
+// Part of egglog-cpp. See Matcher.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "egraph/Matcher.h"
+
+#include "support/SExpr.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace egglog;
+using namespace egglog::classic;
+
+uint32_t Pattern::numVars() const {
+  uint32_t Max = 0;
+  if (PatKind == Kind::Var)
+    return VarId + 1;
+  for (const Pattern &Child : Children)
+    Max = std::max(Max, Child.numVars());
+  return Max;
+}
+
+namespace {
+
+constexpr ClassId Unbound = UINT32_MAX;
+
+/// Recursive backtracking matcher: tries to match \p P against class
+/// \p Id under the partial substitution \p S.
+bool matchInto(const EGraphClassic &Graph, const Pattern &P, ClassId Id,
+               Subst &S, const std::function<bool()> &Continue) {
+  Id = Graph.find(Id);
+  if (P.PatKind == Pattern::Kind::Var) {
+    if (S[P.VarId] != Unbound)
+      return S[P.VarId] == Id && Continue();
+    S[P.VarId] = Id;
+    bool Result = Continue();
+    S[P.VarId] = Unbound;
+    return Result;
+  }
+  // Try every matching e-node in the class; enumerate all alternatives
+  // rather than stopping at the first (callers collect every match).
+  const EClass &Class = Graph.eclass(Id);
+  for (const ENode &Node : Class.Nodes) {
+    if (Node.Op != P.Op)
+      continue;
+    if (P.Children.empty()) {
+      if (P.HasPayload && Node.Payload != P.Payload)
+        continue;
+      if (!Node.Children.empty())
+        continue;
+      Continue();
+      continue;
+    }
+    if (Node.Children.size() != P.Children.size())
+      continue;
+    // Match children left to right via nested continuations.
+    std::function<bool(size_t)> MatchChild = [&](size_t Index) -> bool {
+      if (Index == P.Children.size())
+        return Continue();
+      return matchInto(Graph, P.Children[Index], Node.Children[Index], S,
+                       [&] { return MatchChild(Index + 1); });
+    };
+    MatchChild(0);
+  }
+  return false;
+}
+
+} // namespace
+
+void egglog::classic::matchPattern(
+    const EGraphClassic &Graph, const Pattern &P,
+    const std::function<void(ClassId, const Subst &)> &Callback) {
+  Subst S(P.numVars(), Unbound);
+  for (ClassId Root : Graph.canonicalClasses()) {
+    matchInto(Graph, P, Root, S, [&] {
+      Callback(Root, S);
+      return false; // keep enumerating
+    });
+  }
+}
+
+ClassId egglog::classic::instantiate(EGraphClassic &Graph, const Pattern &P,
+                                     const Subst &S) {
+  if (P.PatKind == Pattern::Kind::Var) {
+    assert(S[P.VarId] != Unbound && "instantiating an unbound variable");
+    return S[P.VarId];
+  }
+  ENode Node;
+  Node.Op = P.Op;
+  Node.Payload = P.Payload;
+  for (const Pattern &Child : P.Children)
+    Node.Children.push_back(instantiate(Graph, Child, S));
+  return Graph.add(std::move(Node));
+}
+
+namespace {
+
+Pattern convert(EGraphClassic &Graph, const SExpr &Node,
+                std::vector<std::string> &VarNames, bool &Ok) {
+  if (!Ok)
+    return Pattern();
+  if (Node.isInteger())
+    return Pattern::leaf(Graph.opId("Num"), Node.IntValue);
+  if (Node.isSymbol()) {
+    const std::string &Name = Node.Text;
+    if (!Name.empty() && Name[0] == '?') {
+      auto It = std::find(VarNames.begin(), VarNames.end(), Name);
+      uint32_t Id;
+      if (It == VarNames.end()) {
+        Id = static_cast<uint32_t>(VarNames.size());
+        VarNames.push_back(Name);
+      } else {
+        Id = static_cast<uint32_t>(It - VarNames.begin());
+      }
+      return Pattern::var(Id);
+    }
+    // Bare symbols are nullary operators (e.g. variables of the object
+    // language like "a" appear as Sym leaves when building terms, but in
+    // patterns a bare name is an operator).
+    return Pattern::node(Graph.opId(Name), {});
+  }
+  if (Node.isList() && Node.size() >= 1 && Node[0].isSymbol()) {
+    // (Num k) denotes the integer-constant leaf, matching the bare-integer
+    // shorthand.
+    if (Node[0].Text == "Num" && Node.size() == 2 && Node[1].isInteger())
+      return Pattern::leaf(Graph.opId("Num"), Node[1].IntValue);
+    std::vector<Pattern> Children;
+    for (size_t I = 1; I < Node.size(); ++I)
+      Children.push_back(convert(Graph, Node[I], VarNames, Ok));
+    return Pattern::node(Graph.opId(Node[0].Text), std::move(Children));
+  }
+  Ok = false;
+  return Pattern();
+}
+
+} // namespace
+
+std::optional<Pattern>
+egglog::classic::parsePattern(EGraphClassic &Graph, const std::string &Source,
+                              std::vector<std::string> &VarNames) {
+  ParseResult Parsed = parseSExprs(Source);
+  if (!Parsed.Ok || Parsed.Forms.size() != 1)
+    return std::nullopt;
+  bool Ok = true;
+  Pattern P = convert(Graph, Parsed.Forms[0], VarNames, Ok);
+  if (!Ok)
+    return std::nullopt;
+  return P;
+}

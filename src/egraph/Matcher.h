@@ -1,0 +1,87 @@
+//===- egraph/Matcher.h - Top-down backtracking e-matching -----*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The traditional top-down backtracking e-matcher used by classic EqSat
+/// engines — the algorithm whose inefficiency on multi-patterns motivated
+/// relational e-matching (§2.2 of the paper). Patterns are terms with
+/// pattern variables; matching a pattern against an e-class enumerates
+/// substitutions from variables to e-classes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_EGRAPH_MATCHER_H
+#define EGGLOG_EGRAPH_MATCHER_H
+
+#include "egraph/EGraphClassic.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace egglog {
+namespace classic {
+
+/// A pattern term: a variable or an operator applied to child patterns.
+struct Pattern {
+  enum class Kind { Var, Node };
+  Kind PatKind = Kind::Node;
+  /// Variable index (for Var).
+  uint32_t VarId = 0;
+  /// Operator and leaf payload (for Node).
+  uint32_t Op = 0;
+  int64_t Payload = 0;
+  bool HasPayload = false;
+  std::vector<Pattern> Children;
+
+  static Pattern var(uint32_t Id) {
+    Pattern P;
+    P.PatKind = Kind::Var;
+    P.VarId = Id;
+    return P;
+  }
+  static Pattern leaf(uint32_t Op, int64_t Payload) {
+    Pattern P;
+    P.Op = Op;
+    P.Payload = Payload;
+    P.HasPayload = true;
+    return P;
+  }
+  static Pattern node(uint32_t Op, std::vector<Pattern> Children) {
+    Pattern P;
+    P.Op = Op;
+    P.Children = std::move(Children);
+    return P;
+  }
+
+  /// Number of variables (1 + max var id), for sizing substitutions.
+  uint32_t numVars() const;
+};
+
+/// A substitution from pattern variables to canonical e-classes.
+using Subst = std::vector<ClassId>;
+
+/// Calls \p Callback once per (root class, substitution) match of
+/// \p P anywhere in the e-graph. The e-graph must be clean (rebuilt).
+void matchPattern(const EGraphClassic &Graph, const Pattern &P,
+                  const std::function<void(ClassId, const Subst &)> &Callback);
+
+/// Instantiates \p P under \p S, adding any new e-nodes; returns the class
+/// of the result.
+ClassId instantiate(EGraphClassic &Graph, const Pattern &P, const Subst &S);
+
+/// Parses an s-expression-like pattern string, e.g. "(* x (+ y 1))".
+/// Symbols starting with '?' are variables; bare integers are Num leaves;
+/// other symbols are nullary operators. Returns nullopt on malformed input.
+std::optional<Pattern> parsePattern(EGraphClassic &Graph,
+                                    const std::string &Source,
+                                    std::vector<std::string> &VarNames);
+
+} // namespace classic
+} // namespace egglog
+
+#endif // EGGLOG_EGRAPH_MATCHER_H

@@ -1,0 +1,117 @@
+//===- egraph/Runner.cpp - Classic EqSat runner ------------------------------===//
+//
+// Part of egglog-cpp. See Runner.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "egraph/Runner.h"
+
+#include "support/Timer.h"
+
+using namespace egglog;
+using namespace egglog::classic;
+
+bool Runner::addRewrite(const std::string &Name, const std::string &Lhs,
+                        const std::string &Rhs) {
+  std::vector<std::string> VarNames;
+  std::optional<Pattern> LhsPat = parsePattern(Graph, Lhs, VarNames);
+  if (!LhsPat)
+    return false;
+  size_t LhsVars = VarNames.size();
+  std::optional<Pattern> RhsPat = parsePattern(Graph, Rhs, VarNames);
+  if (!RhsPat)
+    return false;
+  // Every right-hand variable must be bound on the left.
+  if (VarNames.size() != LhsVars)
+    return false;
+  Rewrites.push_back(Rewrite{Name, std::move(*LhsPat), std::move(*RhsPat)});
+  States.push_back(RewriteState{});
+  return true;
+}
+
+RunnerReport Runner::run(const RunnerOptions &Options) {
+  RunnerReport Report;
+  Timer Total;
+  Graph.rebuild();
+
+  for (unsigned Iter = 0; Iter < Options.Iterations; ++Iter) {
+    ++GlobalIteration;
+    RunnerIteration Stats;
+    Timer Phase;
+
+    size_t ENodesBefore = Graph.numENodes();
+    uint64_t UnionsBefore = Graph.unionCount();
+
+    // Search phase: collect all matches before applying any (classic
+    // EqSat keeps search and apply separate so all rules see the same
+    // e-graph).
+    struct Match {
+      size_t RewriteIndex;
+      ClassId Root;
+      Subst S;
+    };
+    std::vector<Match> Matches;
+    bool AnyBanned = false;
+    for (size_t R = 0; R < Rewrites.size(); ++R) {
+      RewriteState &State = States[R];
+      if (Options.UseBackoff && GlobalIteration < State.BannedUntil) {
+        AnyBanned = true;
+        continue;
+      }
+      size_t Before = Matches.size();
+      matchPattern(Graph, Rewrites[R].Lhs,
+                   [&](ClassId Root, const Subst &S) {
+                     Matches.push_back(Match{R, Root, S});
+                   });
+      size_t Found = Matches.size() - Before;
+      if (Options.UseBackoff) {
+        uint64_t Threshold = Options.BackoffMatchLimit << State.TimesBanned;
+        if (Found > Threshold) {
+          uint64_t BanSpan = Options.BackoffBanLength << State.TimesBanned;
+          State.BannedUntil = GlobalIteration + BanSpan;
+          ++State.TimesBanned;
+          AnyBanned = true;
+          Matches.resize(Before);
+          continue;
+        }
+      }
+      Stats.Matches += Found;
+    }
+    Stats.SearchSeconds = Phase.seconds();
+
+    // Apply phase: instantiate right-hand sides and merge.
+    Phase.reset();
+    for (const Match &M : Matches) {
+      ClassId Result = instantiate(Graph, Rewrites[M.RewriteIndex].Rhs, M.S);
+      Graph.merge(M.Root, Result);
+    }
+    Stats.ApplySeconds = Phase.seconds();
+
+    // Rebuild phase.
+    Phase.reset();
+    Graph.rebuild();
+    Stats.RebuildSeconds = Phase.seconds();
+
+    Stats.ENodes = Graph.numENodes();
+    Stats.Classes = Graph.numClasses();
+    Report.Iterations.push_back(Stats);
+
+    bool Changed = Graph.numENodes() != ENodesBefore ||
+                   Graph.unionCount() != UnionsBefore;
+    if (!Changed && !AnyBanned) {
+      Report.Saturated = true;
+      break;
+    }
+    if (Options.NodeLimit && Stats.ENodes > Options.NodeLimit) {
+      Report.HitNodeLimit = true;
+      break;
+    }
+    if (Options.TimeoutSeconds > 0 &&
+        Total.seconds() > Options.TimeoutSeconds) {
+      Report.TimedOut = true;
+      break;
+    }
+  }
+  Report.TotalSeconds = Total.seconds();
+  return Report;
+}

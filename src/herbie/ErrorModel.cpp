@@ -1,0 +1,86 @@
+//===- herbie/ErrorModel.cpp - Bits-of-error measurement ---------------------===//
+//
+// Part of egglog-cpp. See ErrorModel.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "herbie/ErrorModel.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <random>
+
+using namespace egglog;
+using namespace egglog::herbie;
+
+namespace {
+
+/// Maps a double onto a monotone unsigned 64-bit line: negatives fold
+/// below positives so adjacent doubles are adjacent integers.
+uint64_t orderedBits(double Value) {
+  uint64_t Bits = std::bit_cast<uint64_t>(Value);
+  if (Bits >> 63)
+    return ~Bits;
+  return Bits | (1ull << 63);
+}
+
+} // namespace
+
+uint64_t egglog::herbie::ulpDistance(double A, double B) {
+  if (std::isnan(A) || std::isnan(B))
+    return UINT64_MAX;
+  if (A == B)
+    return 0;
+  uint64_t Oa = orderedBits(A), Ob = orderedBits(B);
+  return Oa > Ob ? Oa - Ob : Ob - Oa;
+}
+
+double egglog::herbie::bitsOfError(double Approx, double Exact) {
+  uint64_t Distance = ulpDistance(Approx, Exact);
+  if (Distance == UINT64_MAX)
+    return 64.0;
+  return std::log2(1.0 + static_cast<double>(Distance));
+}
+
+SampleSet egglog::herbie::samplePoints(const FPExpr &E,
+                                       const std::vector<VarRange> &Ranges,
+                                       unsigned Count, uint32_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  SampleSet Samples;
+  unsigned Attempts = 0;
+  while (Samples.Points.size() < Count && Attempts < Count * 20) {
+    ++Attempts;
+    Env Point;
+    for (const VarRange &Range : Ranges) {
+      // Mix uniform and log-uniform sampling so both magnitudes and
+      // cancellation-prone nearby values appear, as Herbie's sampler does.
+      std::uniform_real_distribution<double> Uniform(Range.Lo, Range.Hi);
+      double Value = Uniform(Rng);
+      if (Range.Lo > 0 && (Rng() & 1)) {
+        std::uniform_real_distribution<double> LogU(std::log(Range.Lo),
+                                                    std::log(Range.Hi));
+        Value = std::exp(LogU(Rng));
+      }
+      Point[Range.Name] = Value;
+    }
+    DoubleDouble Exact = evalExact(E, Point);
+    if (!Exact.isFinite())
+      continue;
+    Samples.Points.push_back(std::move(Point));
+    Samples.Exact.push_back(Exact.toDouble());
+  }
+  return Samples;
+}
+
+double egglog::herbie::averageError(const FPExpr &Candidate,
+                                    const SampleSet &Samples) {
+  if (Samples.Points.empty())
+    return 0;
+  double Total = 0;
+  for (size_t I = 0; I < Samples.Points.size(); ++I) {
+    double Approx = evalDouble(Candidate, Samples.Points[I]);
+    Total += bitsOfError(Approx, Samples.Exact[I]);
+  }
+  return Total / static_cast<double>(Samples.Points.size());
+}

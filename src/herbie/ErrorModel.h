@@ -1,0 +1,59 @@
+//===- herbie/ErrorModel.h - Bits-of-error measurement ---------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Herbie's accuracy metric (§6.2): sample input points, evaluate the
+/// candidate in binary64 and the ground truth in double-double, and report
+/// the average "bits of error" — log2 of the distance in ULPs between the
+/// two results over the ordered encoding of doubles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_HERBIE_ERRORMODEL_H
+#define EGGLOG_HERBIE_ERRORMODEL_H
+
+#include "herbie/FPExpr.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace egglog {
+namespace herbie {
+
+/// A variable range for sampling.
+struct VarRange {
+  std::string Name;
+  double Lo = 0;
+  double Hi = 1;
+};
+
+/// Distance between two doubles in units in the last place, over the
+/// monotone ordered mapping of the binary64 encoding. NaNs are infinitely
+/// far from everything.
+uint64_t ulpDistance(double A, double B);
+
+/// log2(1 + ulpDistance): 0 bits when exact, up to ~64 when sign/magnitude
+/// are entirely wrong.
+double bitsOfError(double Approx, double Exact);
+
+/// A set of sampled valid input points with their ground-truth values.
+struct SampleSet {
+  std::vector<Env> Points;
+  std::vector<double> Exact;
+};
+
+/// Samples \p Count points from the ranges, keeping only points where the
+/// ground truth of \p E is finite. Deterministic in \p Seed.
+SampleSet samplePoints(const FPExpr &E, const std::vector<VarRange> &Ranges,
+                       unsigned Count, uint32_t Seed);
+
+/// Average bits of error of \p Candidate against precomputed ground truth.
+double averageError(const FPExpr &Candidate, const SampleSet &Samples);
+
+} // namespace herbie
+} // namespace egglog
+
+#endif // EGGLOG_HERBIE_ERRORMODEL_H

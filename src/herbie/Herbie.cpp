@@ -1,0 +1,101 @@
+//===- herbie/Herbie.cpp - Mini-Herbie improvement loop ----------------------===//
+//
+// Part of egglog-cpp. See Herbie.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "herbie/Herbie.h"
+
+#include "core/Extract.h"
+#include "core/Frontend.h"
+#include "herbie/Rules.h"
+#include "support/Timer.h"
+
+using namespace egglog;
+using namespace egglog::herbie;
+
+HerbieResult egglog::herbie::improveExpression(const Benchmark &Bench,
+                                               const HerbieOptions &Options) {
+  HerbieResult Result;
+  Timer Clock;
+
+  ExprPtr Root = parseFPExpr(Bench.Expr);
+  if (!Root) {
+    Result.FailureReason = "parse error in benchmark expression";
+    return Result;
+  }
+
+  SampleSet Samples =
+      samplePoints(*Root, Bench.Ranges, Options.Samples, Options.Seed);
+  if (Samples.Points.empty()) {
+    Result.FailureReason = "no valid sample points in the given ranges";
+    return Result;
+  }
+  Result.InitialErrorBits = averageError(*Root, Samples);
+
+  // Build the egglog program: rules, the root term, and (in sound mode)
+  // interval seeds for the input variables.
+  Frontend F;
+  if (!F.execute(herbieProgramText(Options.Sound))) {
+    Result.FailureReason = "ruleset failed to load: " + F.error();
+    return Result;
+  }
+  std::string Setup = "(define root " + toEgglogTerm(*Root) + ")\n";
+  if (Options.Sound) {
+    for (const VarRange &Range : Bench.Ranges) {
+      Rational Lo = Rational::fromDouble(Range.Lo);
+      Rational Hi = Rational::fromDouble(Range.Hi);
+      Setup += "(set (lo (MVar \"" + Range.Name + "\")) (rational-big \"" +
+               Lo.numerator().toString() + "\" \"" +
+               Lo.denominator().toString() + "\"))\n";
+      Setup += "(set (hi (MVar \"" + Range.Name + "\")) (rational-big \"" +
+               Hi.numerator().toString() + "\" \"" +
+               Hi.denominator().toString() + "\"))\n";
+    }
+  }
+  if (!F.execute(Setup)) {
+    Result.FailureReason = "setup failed: " + F.error();
+    return Result;
+  }
+
+  RunOptions RunOpts;
+  RunOpts.Iterations = Options.Iterations;
+  RunOpts.NodeLimit = Options.NodeLimit;
+  RunOpts.TimeoutSeconds = Options.TimeoutSeconds;
+  // Herbie runs its EqSat under egg's BackOff scheduler; without it the
+  // associativity/distributivity birewrites explode.
+  RunOpts.UseBackoff = true;
+  RunReport Report = F.engine().run(RunOpts);
+  Result.IterationsRun = static_cast<unsigned>(Report.Iterations.size());
+  Result.ENodes = F.graph().liveTupleCount();
+
+  // Candidate selection: extract the cheapest few members of the root
+  // class and keep the measured-most-accurate one. Measuring against the
+  // ground truth is also what discards candidates that unsound rewrites
+  // merged in wrongly (Herbie's validation step).
+  Value RootValue;
+  if (!F.evalGround("root", RootValue)) {
+    Result.FailureReason = "root term lost: " + F.error();
+    return Result;
+  }
+  std::vector<ExtractedTerm> Variants =
+      extractVariants(F.graph(), RootValue, Options.MaxCandidates);
+
+  Result.FinalErrorBits = Result.InitialErrorBits;
+  Result.BestExpr = Bench.Expr;
+  for (const ExtractedTerm &Variant : Variants) {
+    ExprPtr Candidate = parseEgglogTerm(Variant.Text);
+    if (!Candidate)
+      continue;
+    ++Result.CandidatesTried;
+    double Error = averageError(*Candidate, Samples);
+    if (Error < Result.FinalErrorBits) {
+      Result.FinalErrorBits = Error;
+      Result.BestExpr = toSurface(*Candidate);
+    }
+  }
+
+  Result.Ok = true;
+  Result.Seconds = Clock.seconds();
+  return Result;
+}

@@ -1,0 +1,75 @@
+//===- herbie/Herbie.h - Mini-Herbie improvement loop ----------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mini-Herbie (§6.2): given a real expression and input ranges, run
+/// equality saturation over the mini-Herbie ruleset, extract candidate
+/// implementations from the saturated e-graph, measure each candidate's
+/// accuracy against the double-double ground truth, and return the most
+/// accurate. With HerbieOptions::Sound, guarded rewrites are discharged by
+/// egglog analyses; otherwise the historical unsound ruleset is used and
+/// the measurement step doubles as Herbie's "validate and discard".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_HERBIE_HERBIE_H
+#define EGGLOG_HERBIE_HERBIE_H
+
+#include "herbie/ErrorModel.h"
+
+#include <string>
+#include <vector>
+
+namespace egglog {
+namespace herbie {
+
+/// One benchmark: a named expression with sampling ranges for its inputs.
+struct Benchmark {
+  std::string Name;
+  /// Surface syntax, e.g. "(- (sqrt (+ x 1)) (sqrt x))".
+  std::string Expr;
+  std::vector<VarRange> Ranges;
+};
+
+/// Pipeline knobs.
+struct HerbieOptions {
+  bool Sound = true;
+  unsigned Iterations = 12;
+  size_t NodeLimit = 60000;
+  unsigned Samples = 200;
+  /// Upper bound on candidates evaluated; unsound runs naturally extract
+  /// more (their root class is polluted by wrong merges) and pay for each
+  /// during validation, as the paper's Herbie did.
+  unsigned MaxCandidates = 48;
+  uint32_t Seed = 20230415;
+  double TimeoutSeconds = 0;
+};
+
+/// Result of improving one benchmark.
+struct HerbieResult {
+  bool Ok = false;
+  std::string FailureReason;
+  double InitialErrorBits = 0;
+  double FinalErrorBits = 0;
+  double Seconds = 0;
+  std::string BestExpr;
+  size_t CandidatesTried = 0;
+  size_t ENodes = 0;
+  unsigned IterationsRun = 0;
+};
+
+/// Runs the full pipeline on one benchmark.
+HerbieResult improveExpression(const Benchmark &Bench,
+                               const HerbieOptions &Options);
+
+/// The benchmark suite (mini version of Herbie's 289-benchmark FPBench
+/// suite; includes the paper's motivating kernels). Defined in Suite.cpp.
+const std::vector<Benchmark> &herbieSuite();
+
+} // namespace herbie
+} // namespace egglog
+
+#endif // EGGLOG_HERBIE_HERBIE_H

@@ -1,0 +1,224 @@
+//===- herbie/Rules.cpp - Mini-Herbie rewrite rules and analyses -------------===//
+//
+// Part of egglog-cpp. See Rules.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "herbie/Rules.h"
+
+using namespace egglog;
+
+namespace {
+
+/// The Math datatype shared by both modes.
+const char *Datatype = R"(
+  (datatype Math
+    (MNum Rational)
+    (MVar String)
+    (MAdd Math Math)
+    (MSub Math Math)
+    (MMul Math Math)
+    (MDiv Math Math)
+    (MNeg Math)
+    (MSqrt Math)
+    (MCbrt Math)
+    (MFabs Math)
+    (MFma Math Math Math))
+)";
+
+/// The interval analysis of Fig. 10: lo is a max-lattice, hi a min-lattice,
+/// both keyed on e-classes so unions tighten the intervals.
+const char *IntervalAnalysis = R"(
+  (function lo (Math) Rational :merge (max old new))
+  (function hi (Math) Rational :merge (min old new))
+
+  (rule ((= e (MNum n))) ((set (lo e) n) (set (hi e) n)))
+
+  (rule ((= e (MAdd a b)) (= (lo a) la) (= (lo b) lb))
+        ((set (lo e) (round-lo (+ la lb)))))
+  (rule ((= e (MAdd a b)) (= (hi a) ha) (= (hi b) hb))
+        ((set (hi e) (round-hi (+ ha hb)))))
+
+  (rule ((= e (MSub a b)) (= (lo a) la) (= (hi b) hb))
+        ((set (lo e) (round-lo (- la hb)))))
+  (rule ((= e (MSub a b)) (= (hi a) ha) (= (lo b) lb))
+        ((set (hi e) (round-hi (- ha lb)))))
+
+  (rule ((= e (MNeg a)) (= (hi a) ha)) ((set (lo e) (neg ha))))
+  (rule ((= e (MNeg a)) (= (lo a) la)) ((set (hi e) (neg la))))
+
+  (rule ((= e (MMul a b))
+         (= (lo a) la) (= (hi a) ha) (= (lo b) lb) (= (hi b) hb))
+        ((let p1 (* la lb)) (let p2 (* la hb))
+         (let p3 (* ha lb)) (let p4 (* ha hb))
+         (set (lo e) (round-lo (min (min p1 p2) (min p3 p4))))
+         (set (hi e) (round-hi (max (max p1 p2) (max p3 p4))))))
+
+  ;; Division propagates only when the denominator interval excludes zero.
+  (rule ((= e (MDiv a b))
+         (= (lo a) la) (= (hi a) ha) (= (lo b) lb) (= (hi b) hb)
+         (> lb (rational 0 1)))
+        ((let p1 (/ la lb)) (let p2 (/ la hb))
+         (let p3 (/ ha lb)) (let p4 (/ ha hb))
+         (set (lo e) (round-lo (min (min p1 p2) (min p3 p4))))
+         (set (hi e) (round-hi (max (max p1 p2) (max p3 p4))))))
+  (rule ((= e (MDiv a b))
+         (= (lo a) la) (= (hi a) ha) (= (lo b) lb) (= (hi b) hb)
+         (< hb (rational 0 1)))
+        ((let p1 (/ la lb)) (let p2 (/ la hb))
+         (let p3 (/ ha lb)) (let p4 (/ ha hb))
+         (set (lo e) (round-lo (min (min p1 p2) (min p3 p4))))
+         (set (hi e) (round-hi (max (max p1 p2) (max p3 p4))))))
+
+  ;; Fig. 10 verbatim: sqrt of anything is non-negative, and sqrt is
+  ;; monotone, so bounds propagate through guaranteed rational bounds.
+  (rule ((= e (MSqrt a)))
+        ((set (lo e) (rational 0 1))))
+  (rule ((= e (MSqrt a)) (= (lo a) la) (>= la (rational 0 1)))
+        ((set (lo e) (sqrt-lo la))))
+  (rule ((= e (MSqrt a)) (= (hi a) ha) (>= ha (rational 0 1)))
+        ((set (hi e) (sqrt-hi ha))))
+
+  ;; cbrt is monotone on all of R.
+  (rule ((= e (MCbrt a)) (= (lo a) la)) ((set (lo e) (cbrt-lo la))))
+  (rule ((= e (MCbrt a)) (= (hi a) ha)) ((set (hi e) (cbrt-hi ha))))
+
+  (rule ((= e (MFabs a))) ((set (lo e) (rational 0 1))))
+  (rule ((= e (MFabs a)) (= (lo a) la) (= (hi a) ha))
+        ((set (hi e) (max (abs la) (abs ha)))))
+  (rule ((= e (MFabs a)) (= (lo a) la) (>= la (rational 0 1)))
+        ((set (lo e) la)))
+)";
+
+/// The "not equals to" analysis (§6.2): derives disequalities from
+/// intervals and propagates them through injective operators. `nonzero`
+/// feeds the division guards.
+const char *NeqAnalysis = R"(
+  (relation neq (Math Math))
+  (relation nonzero (Math))
+
+  ;; A term whose interval excludes zero is nonzero.
+  (rule ((= (lo e) l) (> l (rational 0 1))) ((nonzero e)))
+  (rule ((= (hi e) h) (< h (rational 0 1))) ((nonzero e)))
+
+  ;; x - y bounded away from zero proves x != y.
+  (rule ((= e (MSub x y)) (= (lo e) l) (> l (rational 0 1))) ((neq x y)))
+  (rule ((= e (MSub x y)) (= (hi e) h) (< h (rational 0 1))) ((neq x y)))
+  (rule ((neq x y)) ((neq y x)))
+
+  ;; Injectivity: a != b implies cbrt a != cbrt b and sqrt a != sqrt b
+  ;; (the paper's 3sqrt(v+1) != 3sqrt(v) step).
+  (rule ((neq x y) (= a (MCbrt x)) (= b (MCbrt y))) ((neq a b)))
+  (rule ((neq x y) (= a (MSqrt x)) (= b (MSqrt y))) ((neq a b)))
+
+  ;; x != y makes x - y nonzero (used by the flip guards).
+  (rule ((neq x y) (= e (MSub x y))) ((nonzero e)))
+
+  ;; Demand: comparing two roots requires comparing their radicands, so
+  ;; materialize the difference term the interval rules will then bound
+  ;; (this is how 3sqrt(v+1) - 3sqrt(v) obtains v+1 != v: the rewrite
+  ;; chain proves (v+1) - v = 1, whose interval excludes zero).
+  (rule ((= e (MSub (MCbrt x) (MCbrt y)))) ((MSub x y)))
+  (rule ((= e (MSub (MSqrt x) (MSqrt y)))) ((MSub x y)))
+)";
+
+/// Rewrites that are sound over the reals without side conditions.
+const char *SafeRewrites = R"(
+  (rewrite (MAdd a b) (MAdd b a))
+  (rewrite (MMul a b) (MMul b a))
+  (birewrite (MAdd (MAdd a b) c) (MAdd a (MAdd b c)))
+  (birewrite (MMul (MMul a b) c) (MMul a (MMul b c)))
+  (birewrite (MSub a b) (MAdd a (MNeg b)))
+  (rewrite (MNeg (MNeg a)) a)
+  (birewrite (MMul a (MAdd b c)) (MAdd (MMul a b) (MMul a c)))
+  (birewrite (MDiv (MMul a b) c) (MMul a (MDiv b c)))
+  (birewrite (MDiv (MAdd a b) c) (MAdd (MDiv a c) (MDiv b c)))
+  (birewrite (MAdd (MMul a b) c) (MFma a b c))
+  (rewrite (MAdd a (MNum (rational 0 1))) a)
+  (rewrite (MMul a (MNum (rational 1 1))) a)
+  (rewrite (MMul a (MNum (rational 0 1))) (MNum (rational 0 1)))
+  (rewrite (MNeg a) (MMul (MNum (rational -1 1)) a))
+  (rewrite (MSub a a) (MNum (rational 0 1)))
+  ;; cube of a cube root cancels unconditionally (odd function).
+  (rewrite (MMul (MCbrt a) (MMul (MCbrt a) (MCbrt a))) a)
+  ;; constant folding through exact rationals
+  (rewrite (MAdd (MNum a) (MNum b)) (MNum (+ a b)))
+  (rewrite (MSub (MNum a) (MNum b)) (MNum (- a b)))
+  (rewrite (MMul (MNum a) (MNum b)) (MNum (* a b)))
+  (rewrite (MNeg (MNum a)) (MNum (neg a)))
+  (rewrite (MDiv (MNum a) (MNum b)) (MNum (/ a b))
+           :when ((!= b (rational 0 1))))
+)";
+
+/// The conditionally sound rewrites. %GUARD-...% placeholders are replaced
+/// with real guards (sound) or dropped (unsound).
+const char *GuardedRewrites = R"(
+  ;; x / x -> 1, the paper's flagship example (sound iff x != 0).
+  (rewrite (MDiv x x) (MNum (rational 1 1)) %GUARD-NZ-X%)
+  ;; b * (a / b) -> a (Fig. 9a's fraction family).
+  (rewrite (MMul b (MDiv a b)) a %GUARD-NZ-B%)
+  ;; sqrt(x) * sqrt(x) -> x (sound iff x >= 0).
+  (rewrite (MMul (MSqrt x) (MSqrt x)) x %GUARD-NONNEG-X%)
+  ;; Difference of squares: x - y -> (x^2 - y^2) / (x + y),
+  ;; sound iff x + y != 0; proved from x > 0 and y >= 0 (or symmetrically).
+  (rewrite (MSub x y)
+           (MDiv (MSub (MMul x x) (MMul y y)) (MAdd x y))
+           %GUARD-SUM-NZ%)
+  (rewrite (MSub x y)
+           (MDiv (MSub (MMul x x) (MMul y y)) (MAdd x y))
+           %GUARD-SUM-NZ2%)
+  ;; Fig. 9b: x - y -> (x^3 - y^3) / (x^2 + xy + y^2),
+  ;; sound iff x != 0 or y != 0; x != y implies that.
+  (rewrite (MSub x y)
+           (MDiv (MSub (MMul x (MMul x x)) (MMul y (MMul y y)))
+                 (MAdd (MMul x x) (MAdd (MMul x y) (MMul y y))))
+           %GUARD-NEQ-XY%)
+)";
+
+void replaceAll(std::string &Text, const std::string &From,
+                const std::string &To) {
+  size_t Pos = 0;
+  while ((Pos = Text.find(From, Pos)) != std::string::npos) {
+    Text.replace(Pos, From.size(), To);
+    Pos += To.size();
+  }
+}
+
+} // namespace
+
+std::string egglog::herbie::herbieProgramText(bool Sound) {
+  std::string Program = Datatype;
+  if (Sound) {
+    Program += IntervalAnalysis;
+    Program += NeqAnalysis;
+  }
+  Program += SafeRewrites;
+  std::string Guarded = GuardedRewrites;
+  if (Sound) {
+    replaceAll(Guarded, "%GUARD-NZ-X%", ":when ((nonzero x))");
+    replaceAll(Guarded, "%GUARD-NZ-B%", ":when ((nonzero b))");
+    replaceAll(Guarded, "%GUARD-NONNEG-X%",
+               ":when ((= (lo x) lx) (>= lx (rational 0 1)))");
+    replaceAll(Guarded, "%GUARD-SUM-NZ%",
+               ":when ((= (lo x) lx) (> lx (rational 0 1)) "
+               "(= (lo y) ly) (>= ly (rational 0 1)))");
+    replaceAll(Guarded, "%GUARD-SUM-NZ2%",
+               ":when ((= (lo y) ly) (> ly (rational 0 1)) "
+               "(= (lo x) lx) (>= lx (rational 0 1)))");
+    replaceAll(Guarded, "%GUARD-NEQ-XY%", ":when ((neq x y))");
+  } else {
+    replaceAll(Guarded, "%GUARD-NZ-X%", "");
+    replaceAll(Guarded, "%GUARD-NZ-B%", "");
+    replaceAll(Guarded, "%GUARD-NONNEG-X%", "");
+    replaceAll(Guarded, "%GUARD-SUM-NZ%", "");
+    // The second difference-of-squares copy is redundant when unguarded.
+    replaceAll(Guarded,
+               "(rewrite (MSub x y)\n"
+               "           (MDiv (MSub (MMul x x) (MMul y y)) (MAdd x y))\n"
+               "           %GUARD-SUM-NZ2%)",
+               "");
+    replaceAll(Guarded, "%GUARD-NEQ-XY%", "");
+  }
+  Program += Guarded;
+  return Program;
+}

@@ -1,0 +1,35 @@
+//===- herbie/Rules.h - Mini-Herbie rewrite rules and analyses -*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the egglog program implementing mini-Herbie's rewrite system
+/// (§6.2): the `Math` datatype, the interval analysis of Fig. 10, the
+/// not-equal analysis, and the rewrite rules. In *sound* mode the rules
+/// that are only conditionally valid (x/x -> 1, sqrt(x)^2 -> x, the Fig. 9
+/// flip rules) carry `:when` guards discharged by the analyses; in
+/// *unsound* mode (the ruleset Herbie historically used) the same rules
+/// fire unguarded and the pipeline relies on post-hoc validation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_HERBIE_RULES_H
+#define EGGLOG_HERBIE_RULES_H
+
+#include <string>
+
+namespace egglog {
+namespace herbie {
+
+/// Returns the complete egglog program text (datatype + analyses + rules).
+/// With \p Sound, analyses and guarded rewrites are emitted; without, the
+/// unsound unguarded ruleset is emitted and the analyses are omitted
+/// (matching Herbie-without-egglog).
+std::string herbieProgramText(bool Sound);
+
+} // namespace herbie
+} // namespace egglog
+
+#endif // EGGLOG_HERBIE_RULES_H

@@ -1,0 +1,172 @@
+//===- herbie/Suite.cpp - Mini-Herbie benchmark suite ------------------------===//
+//
+// Part of egglog-cpp. The benchmark suite for the §6.2 case study: a mini
+// version of Herbie's 289-benchmark FPBench suite restricted to the
+// operators mini-Herbie supports. It includes the paper's motivating
+// kernels — the cbrt cancellation `3sqrt(v+1) - 3sqrt(v)` that needs the
+// not-equal analysis, and the `9x^4 - y^2(y^2 - 2)` input whose solution
+// needs an algebraic rearrangement and fma.
+//
+//===----------------------------------------------------------------------===//
+
+#include "herbie/Herbie.h"
+
+using namespace egglog;
+using namespace egglog::herbie;
+
+namespace {
+
+Benchmark make(const std::string &Name, const std::string &Expr,
+               std::vector<VarRange> Ranges) {
+  return Benchmark{Name, Expr, std::move(Ranges)};
+}
+
+VarRange range(const char *Name, double Lo, double Hi) {
+  return VarRange{Name, Lo, Hi};
+}
+
+std::vector<Benchmark> buildSuite() {
+  std::vector<Benchmark> Suite;
+
+  //=== Cancellation kernels (the classic Herbie wins) ====================
+  Suite.push_back(make("sqrt-add-one", "(- (sqrt (+ x 1)) (sqrt x))",
+                       {range("x", 1.0, 1e12)}));
+  Suite.push_back(make("sqrt-add-one-small", "(- (sqrt (+ x 1)) (sqrt x))",
+                       {range("x", 1.0, 1e6)}));
+  Suite.push_back(make("sqrt-sub-one", "(- (sqrt x) (sqrt (- x 1)))",
+                       {range("x", 2.0, 1e12)}));
+  Suite.push_back(make("cbrt-add-one", "(- (cbrt (+ v 1)) (cbrt v))",
+                       {range("v", 1.0, 1e12)}));
+  Suite.push_back(make("cbrt-add-one-huge", "(- (cbrt (+ v 1)) (cbrt v))",
+                       {range("v", 1e6, 1e15)}));
+  Suite.push_back(make("sqrt-diff", "(- (sqrt (+ x 2)) (sqrt (+ x 1)))",
+                       {range("x", 1.0, 1e10)}));
+  Suite.push_back(make("sum-cancel", "(- (+ x y) x)",
+                       {range("x", 1e8, 1e12), range("y", 1.0, 10.0)}));
+  Suite.push_back(make("sum-cancel-deep", "(- (- (+ x y) x) y)",
+                       {range("x", 1e8, 1e12), range("y", 1.0, 10.0)}));
+  Suite.push_back(make("sq-cancel", "(- (* (+ x e) (+ x e)) (* x x))",
+                       {range("x", 1e4, 1e8), range("e", 0.001, 1.0)}));
+
+  //=== Division and fraction rules (Fig. 9a family) ======================
+  Suite.push_back(make("x-over-x", "(/ (+ x 1) (+ x 1))",
+                       {range("x", 0.5, 100.0)}));
+  Suite.push_back(make("frac-mul", "(/ (* a b) c)",
+                       {range("a", 1e-3, 1e3), range("b", 1e-3, 1e3),
+                        range("c", 0.5, 2.0)}));
+  Suite.push_back(make("frac-cancel", "(* b (/ a b))",
+                       {range("a", 1.0, 1e6), range("b", 0.5, 1e6)}));
+  Suite.push_back(make("recip-diff", "(- (/ 1 x) (/ 1 (+ x 1)))",
+                       {range("x", 1.0, 1e8)}));
+  Suite.push_back(make("div-sum", "(/ (+ a b) b)",
+                       {range("a", 1e-6, 1.0), range("b", 1e6, 1e12)}));
+  Suite.push_back(make("ratio-shift", "(/ (+ x 1) (- x 1))",
+                       {range("x", 2.0, 1e6)}));
+
+  //=== Polynomials, fma opportunities ====================================
+  Suite.push_back(
+      make("paper-fma", // the paper's far-left outlier input
+           "(- (* 9 (* x (* x (* x x)))) (* (* y y) (- (* y y) 2)))",
+           {range("x", 0.1, 10.0), range("y", 0.1, 10.0)}));
+  Suite.push_back(make("poly-horner", "(+ (* x (+ (* x (+ (* x a) b)) c)) d)",
+                       {range("x", -10.0, 10.0), range("a", 0.5, 2.0),
+                        range("b", 0.5, 2.0), range("c", 0.5, 2.0),
+                        range("d", 0.5, 2.0)}));
+  Suite.push_back(make("fma-candidate", "(+ (* a b) c)",
+                       {range("a", 1e-8, 1e8), range("b", 1e-8, 1e8),
+                        range("c", 1e-8, 1e8)}));
+  Suite.push_back(make("fma-cancel", "(+ (* a b) (neg (* a b)))",
+                       {range("a", 1.0, 1e8), range("b", 1.0, 1e8)}));
+  Suite.push_back(make("quartic", "(* x (* x (* x x)))",
+                       {range("x", 0.1, 100.0)}));
+  Suite.push_back(make("diff-squares", "(/ (- (* x x) (* y y)) (- x y))",
+                       {range("x", 2.0, 1e6), range("y", 1.0, 1.9)}));
+
+  //=== Square roots and absolute values ==================================
+  Suite.push_back(make("sqrt-square", "(* (sqrt x) (sqrt x))",
+                       {range("x", 0.001, 1e9)}));
+  Suite.push_back(make("sqrt-ratio", "(/ (sqrt (+ x 1)) (sqrt x))",
+                       {range("x", 1.0, 1e12)}));
+  Suite.push_back(make("hypot-ish", "(sqrt (+ (* x x) (* y y)))",
+                       {range("x", 1e-3, 1e3), range("y", 1e-3, 1e3)}));
+  Suite.push_back(make("fabs-sub", "(fabs (- x y))",
+                       {range("x", 1.0, 100.0), range("y", 1.0, 100.0)}));
+  Suite.push_back(make("sqrt-of-square", "(sqrt (* x x))",
+                       {range("x", 0.5, 1e8)}));
+  Suite.push_back(make("cbrt-cube", "(* (cbrt x) (* (cbrt x) (cbrt x)))",
+                       {range("x", 0.5, 1e9)}));
+
+  //=== Mixed arithmetic ===================================================
+  Suite.push_back(make("midpoint", "(/ (+ a b) 2)",
+                       {range("a", 1e8, 1e12), range("b", 1e8, 1e12)}));
+  Suite.push_back(make("weighted-sum", "(+ (* 0.25 a) (* 0.75 b))",
+                       {range("a", 1.0, 1e6), range("b", 1.0, 1e6)}));
+  Suite.push_back(make("three-sum", "(+ a (+ b c))",
+                       {range("a", 1e10, 1e12), range("b", 1.0, 10.0),
+                        range("c", 1e-6, 1e-3)}));
+  Suite.push_back(make("neg-chain", "(neg (neg (neg x)))",
+                       {range("x", -100.0, 100.0)}));
+  Suite.push_back(make("sub-neg", "(- x (neg y))",
+                       {range("x", 1.0, 100.0), range("y", 1.0, 100.0)}));
+  Suite.push_back(make("distribute-in", "(* a (+ b c))",
+                       {range("a", 1e-4, 1e4), range("b", 1e6, 1e9),
+                        range("c", 1e-9, 1e-6)}));
+  Suite.push_back(make("factor-out", "(+ (* a b) (* a c))",
+                       {range("a", 1e-4, 1e4), range("b", 1e2, 1e6),
+                        range("c", 1e2, 1e6)}));
+
+  //=== Deeper cancellation compositions ==================================
+  Suite.push_back(make("nested-sqrt-cancel",
+                       "(- (sqrt (+ (* x x) 1)) x)",
+                       {range("x", 1e3, 1e9)}));
+  Suite.push_back(make("sqrt-sum-cancel",
+                       "(- (sqrt (+ x y)) (sqrt x))",
+                       {range("x", 1e8, 1e12), range("y", 0.1, 10.0)}));
+  Suite.push_back(make("cbrt-shifted",
+                       "(- (cbrt (+ v 2)) (cbrt (+ v 1)))",
+                       {range("v", 1.0, 1e12)}));
+  Suite.push_back(make("double-diff",
+                       "(- (- (sqrt (+ x 2)) (sqrt (+ x 1))) "
+                       "(- (sqrt (+ x 1)) (sqrt x)))",
+                       {range("x", 1.0, 1e8)}));
+  Suite.push_back(make("ratio-of-diffs",
+                       "(/ (- (sqrt (+ x 1)) (sqrt x)) "
+                       "(- (cbrt (+ x 1)) (cbrt x)))",
+                       {range("x", 1.0, 1e8)}));
+
+  //=== Expressions the rules cannot improve (error diff should be ~0) ====
+  Suite.push_back(make("plain-add", "(+ x y)",
+                       {range("x", 1.0, 100.0), range("y", 1.0, 100.0)}));
+  Suite.push_back(make("plain-mul", "(* x y)",
+                       {range("x", 1.0, 100.0), range("y", 1.0, 100.0)}));
+  Suite.push_back(make("plain-div", "(/ x y)",
+                       {range("x", 1.0, 100.0), range("y", 1.0, 100.0)}));
+  Suite.push_back(make("plain-sqrt", "(sqrt x)", {range("x", 0.1, 1e10)}));
+  Suite.push_back(make("plain-cbrt", "(cbrt x)",
+                       {range("x", -1e10, 1e10)}));
+  Suite.push_back(make("const-fold", "(* (+ 1 2) x)",
+                       {range("x", 1.0, 100.0)}));
+
+  //=== Range variants of the cancellation kernels ========================
+  Suite.push_back(make("sqrt-add-one-tiny", "(- (sqrt (+ x 1)) (sqrt x))",
+                       {range("x", 0.001, 1.0)}));
+  Suite.push_back(make("cbrt-add-one-small", "(- (cbrt (+ v 1)) (cbrt v))",
+                       {range("v", 0.01, 100.0)}));
+  Suite.push_back(make("recip-diff-large", "(- (/ 1 x) (/ 1 (+ x 1)))",
+                       {range("x", 1e6, 1e12)}));
+  Suite.push_back(make("sq-cancel-tight", "(- (* (+ x e) (+ x e)) (* x x))",
+                       {range("x", 1e6, 1e10), range("e", 1e-6, 1e-3)}));
+  Suite.push_back(make("sum-cancel-extreme", "(- (+ x y) x)",
+                       {range("x", 1e12, 1e15), range("y", 1e-3, 1.0)}));
+  Suite.push_back(make("diff-squares-near", "(/ (- (* x x) (* y y)) (- x y))",
+                       {range("x", 10.0, 1e4), range("y", 9.0, 9.99)}));
+
+  return Suite;
+}
+
+} // namespace
+
+const std::vector<Benchmark> &egglog::herbie::herbieSuite() {
+  static const std::vector<Benchmark> Suite = buildSuite();
+  return Suite;
+}

@@ -1,0 +1,127 @@
+//===- pointsto/ProgramGenerator.cpp - Synthetic pointer programs ------------===//
+//
+// Part of egglog-cpp. See ProgramGenerator.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pointsto/ProgramGenerator.h"
+
+#include <algorithm>
+#include <random>
+
+using namespace egglog;
+using namespace egglog::pointsto;
+
+Program egglog::pointsto::generateProgram(const std::string &Name,
+                                          const GeneratorOptions &Options) {
+  std::mt19937 Rng(Options.Seed);
+  Program P;
+  P.Name = Name;
+  P.NumFields = Options.NumFields;
+  // Variable / allocation density modeled after C programs: roughly one
+  // allocation site per 12 instructions and one variable per 2.5
+  // instructions.
+  P.NumVars = std::max<uint32_t>(8, Options.Size * 2 / 5);
+  P.NumBaseAllocs = std::max<uint32_t>(4, Options.Size / 12);
+
+  // Real C programs have locality: most assignments connect variables of
+  // the same function/module, and distinct data structures stay separate,
+  // so Steensgaard classes are numerous and moderate-sized. A uniformly
+  // random generator instead collapses everything into one giant class,
+  // which no real points-to benchmark exhibits. We therefore partition
+  // variables and allocations into regions (think translation units) and
+  // let only a small fraction of instructions cross regions.
+  constexpr uint32_t RegionVars = 24;
+  uint32_t NumRegions = std::max<uint32_t>(1, P.NumVars / RegionVars);
+  std::uniform_int_distribution<uint32_t> Region(0, NumRegions - 1);
+  std::uniform_int_distribution<uint32_t> Mix(0, 99);
+  std::uniform_int_distribution<uint32_t> Field(0, P.NumFields - 1);
+
+  auto VarIn = [&](uint32_t R) {
+    uint32_t Lo = R * (P.NumVars / NumRegions);
+    uint32_t Span = std::max<uint32_t>(1, P.NumVars / NumRegions);
+    std::uniform_int_distribution<uint32_t> Dist(Lo, std::min(P.NumVars - 1,
+                                                              Lo + Span - 1));
+    return Dist(Rng);
+  };
+  auto AllocIn = [&](uint32_t R) {
+    uint32_t Lo = R * (P.NumBaseAllocs / NumRegions);
+    uint32_t Span = std::max<uint32_t>(1, P.NumBaseAllocs / NumRegions);
+    std::uniform_int_distribution<uint32_t> Dist(
+        Lo, std::min(P.NumBaseAllocs - 1, Lo + Span - 1));
+    return Dist(Rng);
+  };
+  // ~3% of instructions cross regions (externally linked calls).
+  auto PickRegions = [&](uint32_t &Ra, uint32_t &Rb) {
+    Ra = Region(Rng);
+    Rb = Mix(Rng) < 3 ? Region(Rng) : Ra;
+  };
+
+  // Seed every allocation with at least one address-taking variable in its
+  // own region so the heap graph is reachable.
+  for (uint32_t A = 0; A < P.NumBaseAllocs; ++A) {
+    uint32_t R = A * NumRegions / P.NumBaseAllocs;
+    P.Allocs.emplace_back(VarIn(R), A);
+  }
+
+  // Copy chains: long def-use chains typical of SSA-ized C (this is what
+  // makes semi-naïve evaluation matter: each iteration extends frontiers a
+  // little).
+  while (P.numInstructions() < Options.Size) {
+    uint32_t Kind = Mix(Rng);
+    uint32_t Ra, Rb;
+    PickRegions(Ra, Rb);
+    if (Kind < 10) {
+      P.Allocs.emplace_back(VarIn(Ra), AllocIn(Ra));
+    } else if (Kind < 45) {
+      // Chain of copies within one region.
+      uint32_t Length = 1 + Mix(Rng) % 6;
+      uint32_t Prev = VarIn(Rb);
+      for (uint32_t I = 0; I < Length; ++I) {
+        uint32_t Next = VarIn(Ra);
+        P.Copies.emplace_back(Next, Prev);
+        Prev = Next;
+      }
+    } else if (Kind < 65) {
+      P.Loads.emplace_back(VarIn(Ra), VarIn(Rb));
+    } else if (Kind < 85) {
+      P.Stores.emplace_back(VarIn(Ra), VarIn(Rb));
+    } else {
+      P.Geps.emplace_back(VarIn(Ra), VarIn(Rb), Field(Rng));
+    }
+  }
+  return P;
+}
+
+std::vector<Program> egglog::pointsto::postgresSuite(double Scale) {
+  // Names and a rough size ordering mirroring Fig. 8's x-axis (small
+  // shared objects up to psql/ecpg). Sizes grow geometrically so that the
+  // quadratic encodings blow through the timeout partway along the suite,
+  // like the paper's eqrel and cclyzer++ bars.
+  static const std::pair<const char *, uint32_t> Entries[] = {
+      {"libpgtypes.so.3.6", 400},   {"plpgsql.so", 500},
+      {"libpq.so.5.8", 620},        {"libpqwalreceiver.so", 760},
+      {"initdb", 920},              {"libecpg.so.6.7", 1100},
+      {"libecpg_compat.so.3.7", 1300}, {"pg_ctl", 1550},
+      {"pg_isready", 1800},         {"pg_recvlogical", 2100},
+      {"dropdb", 2450},             {"dropuser", 2850},
+      {"pg_receivexlog", 3300},     {"createdb", 3800},
+      {"clusterdb", 4400},          {"pg_rewind", 5100},
+      {"createuser", 5900},         {"pg_upgrade", 6800},
+      {"reindexdb", 7800},          {"vacuumdb", 9000},
+      {"droplang", 10400},          {"createlang", 12000},
+      {"pg_basebackup", 13800},     {"pgbench", 15900},
+      {"pg_dumpall", 18300},        {"pg_restore", 21000},
+      {"dict_snowball.so", 24200},  {"pg_dump", 27800},
+      {"psql", 32000},              {"ecpg", 36800},
+  };
+  std::vector<Program> Suite;
+  uint32_t Seed = 1000;
+  for (const auto &[Name, Size] : Entries) {
+    GeneratorOptions Opts;
+    Opts.Seed = Seed++;
+    Opts.Size = std::max<uint32_t>(16, static_cast<uint32_t>(Size * Scale));
+    Suite.push_back(generateProgram(Name, Opts));
+  }
+  return Suite;
+}

@@ -1,0 +1,91 @@
+//===- pointsto/ProgramGenerator.h - Synthetic pointer programs -*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of synthetic pointer-manipulating programs for
+/// the §6.1 Steensgaard benchmark. The paper analyzed LLVM bitcode of the
+/// postgresql-9.5.2 binaries via cclyzer++'s fact extractor; we have
+/// neither postgres bitcode nor LLVM here, so this generator produces fact
+/// sets with the same schema (alloc / copy / load / store / gep with
+/// pre-enumerated field sub-allocations) and the structural features that
+/// stress the encodings: long copy chains, heap graphs reachable through
+/// loads and stores, and field-sensitive struct accesses. See DESIGN.md
+/// §1.2 for why this substitution preserves the experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_POINTSTO_PROGRAMGENERATOR_H
+#define EGGLOG_POINTSTO_PROGRAMGENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace egglog {
+namespace pointsto {
+
+/// One synthetic program as extracted facts. Variables and allocations are
+/// densely numbered; field sub-allocations are pre-enumerated (as
+/// cclyzer++'s fact generator does for field-sensitive analysis).
+struct Program {
+  std::string Name;
+  uint32_t NumVars = 0;
+  /// Base allocation ids are 0..NumBaseAllocs-1; field sub-allocations
+  /// follow.
+  uint32_t NumBaseAllocs = 0;
+  uint32_t NumFields = 0;
+
+  /// v = alloca / malloc.
+  std::vector<std::pair<uint32_t, uint32_t>> Allocs;
+  /// d = s.
+  std::vector<std::pair<uint32_t, uint32_t>> Copies;
+  /// d = *s.
+  std::vector<std::pair<uint32_t, uint32_t>> Loads;
+  /// *d = s.
+  std::vector<std::pair<uint32_t, uint32_t>> Stores;
+  /// d = &b->f.
+  std::vector<std::tuple<uint32_t, uint32_t, uint32_t>> Geps;
+
+  /// Total allocation ids including field sub-allocations.
+  uint32_t numAllAllocs() const {
+    return NumBaseAllocs + NumBaseAllocs * NumFields;
+  }
+
+  /// The sub-allocation id for field \p F of base allocation \p A.
+  uint32_t fieldAlloc(uint32_t A, uint32_t F) const {
+    return NumBaseAllocs + A * NumFields + F;
+  }
+
+  size_t numInstructions() const {
+    return Allocs.size() + Copies.size() + Loads.size() + Stores.size() +
+           Geps.size();
+  }
+};
+
+/// Generation knobs.
+struct GeneratorOptions {
+  uint32_t Seed = 1;
+  /// Target number of instructions.
+  uint32_t Size = 1000;
+  uint32_t NumFields = 2;
+};
+
+/// Generates one program deterministically from the options.
+Program generateProgram(const std::string &Name,
+                        const GeneratorOptions &Options);
+
+/// The 30-program suite named after the postgresql-9.5.2 binaries of
+/// Fig. 8, with sizes growing roughly geometrically so the slow encodings
+/// hit the timeout exactly as in the paper. \p Scale multiplies every
+/// program's size (1.0 = benchmark default; tests use smaller).
+std::vector<Program> postgresSuite(double Scale = 1.0);
+
+} // namespace pointsto
+} // namespace egglog
+
+#endif // EGGLOG_POINTSTO_PROGRAMGENERATOR_H

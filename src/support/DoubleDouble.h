@@ -1,0 +1,133 @@
+//===- support/DoubleDouble.h - Double-double arithmetic -------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compensated "double-double" arithmetic (~106 bits of precision) built
+/// from error-free transformations (TwoSum / TwoProd-with-FMA, after
+/// Dekker and Knuth). The mini-Herbie error model (§6.2) uses this as its
+/// high-precision ground truth in place of the MPFR evaluation the real
+/// Herbie uses: 106 bits against binary64's 53 is ample headroom for
+/// measuring bits of error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_SUPPORT_DOUBLEDOUBLE_H
+#define EGGLOG_SUPPORT_DOUBLEDOUBLE_H
+
+#include <cmath>
+#include <limits>
+
+namespace egglog {
+
+/// An unevaluated sum Hi + Lo with |Lo| <= ulp(Hi)/2.
+struct DoubleDouble {
+  double Hi = 0;
+  double Lo = 0;
+
+  DoubleDouble() = default;
+  DoubleDouble(double Value) : Hi(Value), Lo(0) {}
+  DoubleDouble(double Hi, double Lo) : Hi(Hi), Lo(Lo) {}
+
+  double toDouble() const { return Hi + Lo; }
+  bool isFinite() const { return std::isfinite(Hi) && std::isfinite(Lo); }
+
+  /// Error-free sum: a + b = s + e exactly (Knuth's TwoSum).
+  static DoubleDouble twoSum(double A, double B) {
+    double S = A + B;
+    double V = S - A;
+    double E = (A - (S - V)) + (B - V);
+    return DoubleDouble(S, E);
+  }
+
+  /// Error-free product via FMA: a * b = p + e exactly.
+  static DoubleDouble twoProd(double A, double B) {
+    double P = A * B;
+    double E = std::fma(A, B, -P);
+    return DoubleDouble(P, E);
+  }
+
+  /// Renormalizes a (Hi, Lo) pair into canonical form.
+  static DoubleDouble quickTwoSum(double A, double B) {
+    double S = A + B;
+    double E = B - (S - A);
+    return DoubleDouble(S, E);
+  }
+
+  DoubleDouble operator+(const DoubleDouble &Other) const {
+    DoubleDouble S = twoSum(Hi, Other.Hi);
+    S.Lo += Lo + Other.Lo;
+    return quickTwoSum(S.Hi, S.Lo);
+  }
+
+  DoubleDouble operator-() const { return DoubleDouble(-Hi, -Lo); }
+  DoubleDouble operator-(const DoubleDouble &Other) const {
+    return *this + (-Other);
+  }
+
+  DoubleDouble operator*(const DoubleDouble &Other) const {
+    DoubleDouble P = twoProd(Hi, Other.Hi);
+    P.Lo += Hi * Other.Lo + Lo * Other.Hi;
+    return quickTwoSum(P.Hi, P.Lo);
+  }
+
+  DoubleDouble operator/(const DoubleDouble &Other) const {
+    // One step of Newton refinement over the double quotient.
+    double Q1 = Hi / Other.Hi;
+    DoubleDouble R = *this - Other * DoubleDouble(Q1);
+    double Q2 = R.Hi / Other.Hi;
+    DoubleDouble R2 = R - Other * DoubleDouble(Q2);
+    double Q3 = R2.Hi / Other.Hi;
+    DoubleDouble Result = quickTwoSum(Q1, Q2);
+    Result.Lo += Q3;
+    return quickTwoSum(Result.Hi, Result.Lo);
+  }
+
+  /// Square root by Newton refinement of the double approximation.
+  DoubleDouble sqrt() const {
+    if (Hi == 0 && Lo == 0)
+      return DoubleDouble(0);
+    if (Hi < 0)
+      return DoubleDouble(std::numeric_limits<double>::quiet_NaN());
+    double Approx = std::sqrt(Hi);
+    // x' = x + (v - x^2) / (2x).
+    DoubleDouble X(Approx);
+    DoubleDouble Residual = *this - X * X;
+    DoubleDouble Correction = Residual / (X + X);
+    return X + Correction;
+  }
+
+  /// Cube root by Newton refinement (odd function; handles negatives).
+  DoubleDouble cbrt() const {
+    if (Hi == 0 && Lo == 0)
+      return DoubleDouble(0);
+    double Approx = std::cbrt(Hi);
+    DoubleDouble X(Approx);
+    // x' = x + (v - x^3) / (3 x^2).
+    DoubleDouble X2 = X * X;
+    DoubleDouble Residual = *this - X2 * X;
+    DoubleDouble Correction = Residual / (X2 * 3.0);
+    return X + Correction;
+  }
+
+  DoubleDouble abs() const { return Hi < 0 ? -*this : *this; }
+
+  bool operator<(const DoubleDouble &Other) const {
+    return Hi < Other.Hi || (Hi == Other.Hi && Lo < Other.Lo);
+  }
+  bool operator==(const DoubleDouble &Other) const {
+    return Hi == Other.Hi && Lo == Other.Lo;
+  }
+};
+
+/// Fused multiply-add in double-double: a*b + c.
+inline DoubleDouble fmaDD(const DoubleDouble &A, const DoubleDouble &B,
+                          const DoubleDouble &C) {
+  return A * B + C;
+}
+
+} // namespace egglog
+
+#endif // EGGLOG_SUPPORT_DOUBLEDOUBLE_H

@@ -1,0 +1,78 @@
+//===- support/Interner.h - String interning -------------------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings (and other hashable values) to dense 32-bit ids so that
+/// egglog Values can carry interned payloads in a fixed-size word.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_SUPPORT_INTERNER_H
+#define EGGLOG_SUPPORT_INTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace egglog {
+
+/// Interns strings to dense ids; lookups in both directions are O(1).
+class StringInterner {
+public:
+  /// Returns the id for \p Text, creating it if needed.
+  uint32_t intern(const std::string &Text) {
+    auto It = Ids.find(Text);
+    if (It != Ids.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(Strings.size());
+    Strings.push_back(Text);
+    Ids.emplace(Text, Id);
+    return Id;
+  }
+
+  /// Returns the string for an id previously returned by intern().
+  const std::string &lookup(uint32_t Id) const {
+    assert(Id < Strings.size() && "unknown interned id");
+    return Strings[Id];
+  }
+
+  size_t size() const { return Strings.size(); }
+
+private:
+  std::vector<std::string> Strings;
+  std::unordered_map<std::string, uint32_t> Ids;
+};
+
+/// Interns arbitrary hashable, equality-comparable values to dense ids.
+template <typename T, typename Hash = std::hash<T>> class ValueInterner {
+public:
+  uint32_t intern(const T &Value) {
+    auto It = Ids.find(Value);
+    if (It != Ids.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(Values.size());
+    Values.push_back(Value);
+    Ids.emplace(Value, Id);
+    return Id;
+  }
+
+  const T &lookup(uint32_t Id) const {
+    assert(Id < Values.size() && "unknown interned id");
+    return Values[Id];
+  }
+
+  size_t size() const { return Values.size(); }
+
+private:
+  std::vector<T> Values;
+  std::unordered_map<T, uint32_t, Hash> Ids;
+};
+
+} // namespace egglog
+
+#endif // EGGLOG_SUPPORT_INTERNER_H

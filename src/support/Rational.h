@@ -1,0 +1,120 @@
+//===- support/Rational.h - Exact rational arithmetic ----------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over BigInt. Backs egglog's `Rational` base sort
+/// and the mini-Herbie interval analysis. The paper notes (§6.2) that one
+/// Herbie benchmark overflowed egglog's fixed-width rational type; we avoid
+/// that failure mode entirely by using arbitrary precision.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_SUPPORT_RATIONAL_H
+#define EGGLOG_SUPPORT_RATIONAL_H
+
+#include "support/BigInt.h"
+
+#include <string>
+
+namespace egglog {
+
+/// An exact rational number. Invariants: the denominator is positive and
+/// gcd(|num|, den) == 1; zero is 0/1.
+class Rational {
+public:
+  /// Constructs zero.
+  Rational() : Num(0), Den(1) {}
+
+  /// Constructs Numerator/Denominator; asserts Denominator != 0.
+  Rational(BigInt Numerator, BigInt Denominator);
+
+  /// Constructs an integer rational.
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+
+  /// Constructs the exact value of a finite double. Asserts the input is
+  /// finite (doubles are scaled binary rationals, so this is lossless).
+  static Rational fromDouble(double Value);
+
+  const BigInt &numerator() const { return Num; }
+  const BigInt &denominator() const { return Den; }
+
+  bool isZero() const { return Num.isZero(); }
+  bool isNegative() const { return Num.isNegative(); }
+  bool isInteger() const { return Den.isOne(); }
+  int sign() const { return Num.sign(); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational &Other) const;
+  Rational operator-(const Rational &Other) const;
+  Rational operator*(const Rational &Other) const;
+  /// Asserts Other != 0.
+  Rational operator/(const Rational &Other) const;
+
+  /// Reciprocal; asserts the value is nonzero.
+  Rational inverse() const;
+
+  /// Absolute value.
+  Rational abs() const;
+
+  /// Smaller / larger of two rationals.
+  static Rational min(const Rational &A, const Rational &B);
+  static Rational max(const Rational &A, const Rational &B);
+
+  /// A lower bound on the square root, accurate to within 2^-Precision.
+  /// Asserts the value is non-negative.
+  Rational sqrtLower(unsigned Precision = 48) const;
+  /// An upper bound on the square root. Asserts the value is non-negative.
+  Rational sqrtUpper(unsigned Precision = 48) const;
+
+  /// A lower bound on the cube root, accurate to within 2^-Precision.
+  Rational cbrtLower(unsigned Precision = 48) const;
+  /// An upper bound on the cube root.
+  Rational cbrtUpper(unsigned Precision = 48) const;
+
+  /// Raises to an integer power (negative exponents invert; asserts nonzero
+  /// base for negative exponents).
+  Rational pow(int64_t Exponent) const;
+
+  /// Outward rounding to a dyadic rational with at most \p Bits of
+  /// precision: roundDown returns the largest such value <= *this,
+  /// roundUp the smallest >= *this. Chained exact interval arithmetic
+  /// grows numerators/denominators without bound; rounding bounds the cost
+  /// while keeping interval endpoints conservative.
+  Rational roundDown(unsigned Bits = 64) const;
+  Rational roundUp(unsigned Bits = 64) const;
+
+  int compare(const Rational &Other) const;
+  bool operator==(const Rational &Other) const {
+    return Num == Other.Num && Den == Other.Den;
+  }
+  bool operator!=(const Rational &Other) const { return !(*this == Other); }
+  bool operator<(const Rational &Other) const { return compare(Other) < 0; }
+  bool operator<=(const Rational &Other) const { return compare(Other) <= 0; }
+  bool operator>(const Rational &Other) const { return compare(Other) > 0; }
+  bool operator>=(const Rational &Other) const { return compare(Other) >= 0; }
+
+  /// Nearest double (round-to-nearest via long-division of the parts).
+  double toDouble() const;
+
+  /// Renders as "num" or "num/den".
+  std::string toString() const;
+
+  size_t hash() const;
+
+private:
+  BigInt Num;
+  BigInt Den;
+
+  void normalize();
+  /// Square root bound helper: returns floor or ceiling of sqrt(*this)
+  /// scaled by 2^Precision.
+  Rational sqrtBound(unsigned Precision, bool RoundUp) const;
+  Rational cbrtBound(unsigned Precision, bool RoundUp) const;
+};
+
+} // namespace egglog
+
+#endif // EGGLOG_SUPPORT_RATIONAL_H

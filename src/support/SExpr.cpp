@@ -1,0 +1,263 @@
+//===- support/SExpr.cpp - S-expression reader ---------------------------===//
+//
+// Part of egglog-cpp. See SExpr.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SExpr.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+using namespace egglog;
+
+SExpr SExpr::makeSymbol(std::string Name, unsigned Line) {
+  SExpr Node;
+  Node.NodeKind = Kind::Symbol;
+  Node.Text = std::move(Name);
+  Node.Line = Line;
+  return Node;
+}
+
+SExpr SExpr::makeInteger(int64_t Value, unsigned Line) {
+  SExpr Node;
+  Node.NodeKind = Kind::Integer;
+  Node.IntValue = Value;
+  Node.Line = Line;
+  return Node;
+}
+
+SExpr SExpr::makeString(std::string Value, unsigned Line) {
+  SExpr Node;
+  Node.NodeKind = Kind::String;
+  Node.Text = std::move(Value);
+  Node.Line = Line;
+  return Node;
+}
+
+SExpr SExpr::makeList(std::vector<SExpr> Elements, unsigned Line) {
+  SExpr Node;
+  Node.NodeKind = Kind::List;
+  Node.Elements = std::move(Elements);
+  Node.Line = Line;
+  return Node;
+}
+
+std::string SExpr::toString() const {
+  switch (NodeKind) {
+  case Kind::Symbol:
+    return Text;
+  case Kind::Integer:
+    return std::to_string(IntValue);
+  case Kind::Float:
+    return std::to_string(FloatValue);
+  case Kind::String: {
+    std::string Result = "\"";
+    for (char C : Text) {
+      if (C == '"' || C == '\\')
+        Result.push_back('\\');
+      Result.push_back(C);
+    }
+    Result.push_back('"');
+    return Result;
+  }
+  case Kind::List: {
+    std::string Result = "(";
+    for (size_t I = 0; I < Elements.size(); ++I) {
+      if (I)
+        Result.push_back(' ');
+      Result += Elements[I].toString();
+    }
+    Result.push_back(')');
+    return Result;
+  }
+  }
+  return "";
+}
+
+namespace {
+
+/// Recursive-descent reader over a source buffer.
+class Reader {
+public:
+  Reader(std::string_view Source, ParseResult &Result)
+      : Source(Source), Result(Result) {}
+
+  void readAll() {
+    while (true) {
+      skipSpace();
+      if (Position >= Source.size() || !Result.Ok)
+        return;
+      SExpr Form = readForm();
+      if (!Result.Ok)
+        return;
+      Result.Forms.push_back(std::move(Form));
+    }
+  }
+
+private:
+  std::string_view Source;
+  ParseResult &Result;
+  size_t Position = 0;
+  unsigned Line = 1;
+
+  void fail(const std::string &Message) {
+    if (!Result.Ok)
+      return;
+    Result.Ok = false;
+    Result.Error = Message;
+    Result.ErrorLine = Line;
+  }
+
+  void skipSpace() {
+    while (Position < Source.size()) {
+      char C = Source[Position];
+      if (C == '\n') {
+        ++Line;
+        ++Position;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Position;
+      } else if (C == ';') {
+        while (Position < Source.size() && Source[Position] != '\n')
+          ++Position;
+      } else {
+        return;
+      }
+    }
+  }
+
+  SExpr readForm() {
+    skipSpace();
+    if (Position >= Source.size()) {
+      fail("unexpected end of input");
+      return SExpr();
+    }
+    char C = Source[Position];
+    if (C == '(')
+      return readList();
+    if (C == ')') {
+      fail("unexpected ')'");
+      return SExpr();
+    }
+    if (C == '"')
+      return readString();
+    return readAtom();
+  }
+
+  SExpr readList() {
+    unsigned StartLine = Line;
+    ++Position; // consume '('
+    std::vector<SExpr> Elements;
+    while (true) {
+      skipSpace();
+      if (Position >= Source.size()) {
+        fail("unterminated list starting at line " +
+             std::to_string(StartLine));
+        return SExpr();
+      }
+      if (Source[Position] == ')') {
+        ++Position;
+        return SExpr::makeList(std::move(Elements), StartLine);
+      }
+      SExpr Element = readForm();
+      if (!Result.Ok)
+        return SExpr();
+      Elements.push_back(std::move(Element));
+    }
+  }
+
+  SExpr readString() {
+    unsigned StartLine = Line;
+    ++Position; // consume '"'
+    std::string Contents;
+    while (true) {
+      if (Position >= Source.size()) {
+        fail("unterminated string literal");
+        return SExpr();
+      }
+      char C = Source[Position++];
+      if (C == '"')
+        return SExpr::makeString(std::move(Contents), StartLine);
+      if (C == '\n')
+        ++Line;
+      if (C == '\\') {
+        if (Position >= Source.size()) {
+          fail("unterminated escape in string literal");
+          return SExpr();
+        }
+        char Escaped = Source[Position++];
+        switch (Escaped) {
+        case 'n':
+          Contents.push_back('\n');
+          break;
+        case 't':
+          Contents.push_back('\t');
+          break;
+        default:
+          Contents.push_back(Escaped);
+          break;
+        }
+        continue;
+      }
+      Contents.push_back(C);
+    }
+  }
+
+  static bool isDelimiter(char C) {
+    return C == '(' || C == ')' || C == '"' || C == ';' ||
+           std::isspace(static_cast<unsigned char>(C));
+  }
+
+  SExpr readAtom() {
+    unsigned StartLine = Line;
+    size_t Start = Position;
+    while (Position < Source.size() && !isDelimiter(Source[Position]))
+      ++Position;
+    std::string_view Token = Source.substr(Start, Position - Start);
+    // Integer literal: optional sign followed by digits only.
+    size_t DigitsStart = (Token[0] == '-' || Token[0] == '+') ? 1 : 0;
+    bool AllDigits = Token.size() > DigitsStart;
+    bool HasDot = false;
+    for (size_t I = DigitsStart; I < Token.size(); ++I) {
+      char C = Token[I];
+      if (C == '.' && !HasDot) {
+        HasDot = true;
+        continue;
+      }
+      if (!std::isdigit(static_cast<unsigned char>(C))) {
+        AllDigits = false;
+        break;
+      }
+    }
+    if (AllDigits && !HasDot) {
+      errno = 0;
+      char *End = nullptr;
+      std::string Buffer(Token);
+      long long Value = std::strtoll(Buffer.c_str(), &End, 10);
+      if (errno == ERANGE || End != Buffer.c_str() + Buffer.size()) {
+        fail("integer literal out of range: " + Buffer);
+        return SExpr();
+      }
+      return SExpr::makeInteger(Value, StartLine);
+    }
+    if (AllDigits && HasDot) {
+      std::string Buffer(Token);
+      SExpr Node;
+      Node.NodeKind = SExpr::Kind::Float;
+      Node.FloatValue = std::strtod(Buffer.c_str(), nullptr);
+      Node.Line = StartLine;
+      return Node;
+    }
+    return SExpr::makeSymbol(std::string(Token), StartLine);
+  }
+};
+
+} // namespace
+
+ParseResult egglog::parseSExprs(std::string_view Source) {
+  ParseResult Result;
+  Reader R(Source, Result);
+  R.readAll();
+  return Result;
+}

@@ -1,0 +1,75 @@
+//===- support/SExpr.h - S-expression reader -------------------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small s-expression reader for the egglog surface syntax (§3 of the
+/// paper uses s-expressions throughout). Supports symbols, 64-bit integer
+/// literals, double-quoted strings with escapes, and `;` line comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_SUPPORT_SEXPR_H
+#define EGGLOG_SUPPORT_SEXPR_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace egglog {
+
+/// A parsed s-expression node.
+struct SExpr {
+  enum class Kind { Symbol, Integer, Float, String, List };
+
+  Kind NodeKind = Kind::List;
+  /// Symbol spelling or string contents.
+  std::string Text;
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+  std::vector<SExpr> Elements;
+  /// 1-based source line for diagnostics.
+  unsigned Line = 0;
+
+  bool isSymbol() const { return NodeKind == Kind::Symbol; }
+  bool isSymbol(std::string_view Name) const {
+    return NodeKind == Kind::Symbol && Text == Name;
+  }
+  bool isInteger() const { return NodeKind == Kind::Integer; }
+  bool isFloat() const { return NodeKind == Kind::Float; }
+  bool isString() const { return NodeKind == Kind::String; }
+  bool isList() const { return NodeKind == Kind::List; }
+  size_t size() const { return Elements.size(); }
+  const SExpr &operator[](size_t Index) const { return Elements[Index]; }
+
+  /// Returns true if this is a list whose head is the given symbol.
+  bool isCall(std::string_view Head) const {
+    return isList() && !Elements.empty() && Elements[0].isSymbol(Head);
+  }
+
+  static SExpr makeSymbol(std::string Name, unsigned Line = 0);
+  static SExpr makeInteger(int64_t Value, unsigned Line = 0);
+  static SExpr makeString(std::string Value, unsigned Line = 0);
+  static SExpr makeList(std::vector<SExpr> Elements, unsigned Line = 0);
+
+  /// Renders back to text (for diagnostics and golden tests).
+  std::string toString() const;
+};
+
+/// Result of parsing: either a list of top-level forms or an error message.
+struct ParseResult {
+  std::vector<SExpr> Forms;
+  bool Ok = true;
+  std::string Error;
+  unsigned ErrorLine = 0;
+};
+
+/// Parses a whole source buffer into top-level forms.
+ParseResult parseSExprs(std::string_view Source);
+
+} // namespace egglog
+
+#endif // EGGLOG_SUPPORT_SEXPR_H

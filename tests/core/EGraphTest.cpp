@@ -1,0 +1,287 @@
+//===- tests/core/EGraphTest.cpp - Database / rebuilding tests -------------===//
+//
+// Part of egglog-cpp. Tests the EGraph database: merge semantics (§3.2),
+// get-or-default (§3.3), congruence-closure rebuilding (§5.1), and the set
+// container pool.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EGraph.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace egglog;
+
+namespace {
+
+/// Builds a one-argument constructor f : S -> S (merge = union).
+FunctionId declareUnaryCtor(EGraph &G, SortId S, const std::string &Name) {
+  FunctionDecl Decl;
+  Decl.Name = Name;
+  Decl.ArgSorts = {S};
+  Decl.OutSort = S;
+  return G.declareFunction(std::move(Decl));
+}
+
+} // namespace
+
+TEST(EGraphTest, GetOrCreateMakesFreshIdsOnce) {
+  EGraph G;
+  SortId S = G.declareSort("Node");
+  FunctionId Mk = declareUnaryCtor(G, S, "mk");
+  Value A = G.freshId(S);
+  Value First, Second;
+  ASSERT_TRUE(G.getOrCreate(Mk, &A, First));
+  ASSERT_TRUE(G.getOrCreate(Mk, &A, Second));
+  EXPECT_EQ(First, Second) << "get-or-default must be stable";
+  EXPECT_EQ(G.functionSize(Mk), 1u);
+}
+
+TEST(EGraphTest, UnionMakesValuesIndistinguishable) {
+  EGraph G;
+  SortId S = G.declareSort("Node");
+  Value A = G.freshId(S), B = G.freshId(S);
+  EXPECT_FALSE(G.valueEqual(A, B));
+  G.unionValues(A, B);
+  EXPECT_TRUE(G.valueEqual(A, B));
+  EXPECT_TRUE(G.needsRebuild());
+}
+
+TEST(EGraphTest, RebuildRestoresCongruence) {
+  // The running example of §3.2/§5.1: f(a)=b, f(c)=d, then a == c forces
+  // b == d via the default (union) merge.
+  EGraph G;
+  SortId S = G.declareSort("T");
+  FunctionId F = declareUnaryCtor(G, S, "f");
+  Value A = G.freshId(S), C = G.freshId(S);
+  Value B, D;
+  ASSERT_TRUE(G.getOrCreate(F, &A, B));
+  ASSERT_TRUE(G.getOrCreate(F, &C, D));
+  EXPECT_FALSE(G.valueEqual(B, D));
+
+  G.unionValues(A, C);
+  G.rebuild();
+  EXPECT_TRUE(G.valueEqual(B, D)) << "congruence must be restored";
+  EXPECT_EQ(G.functionSize(F), 1u) << "duplicate rows must collapse";
+  EXPECT_FALSE(G.needsRebuild());
+}
+
+TEST(EGraphTest, RebuildCascades) {
+  // A chain: unioning the leaves must propagate congruence upward through
+  // two levels of f.
+  EGraph G;
+  SortId S = G.declareSort("T");
+  FunctionId F = declareUnaryCtor(G, S, "f");
+  Value X = G.freshId(S), Y = G.freshId(S);
+  Value Fx, Fy, FFx, FFy;
+  ASSERT_TRUE(G.getOrCreate(F, &X, Fx));
+  ASSERT_TRUE(G.getOrCreate(F, &Y, Fy));
+  ASSERT_TRUE(G.getOrCreate(F, &Fx, FFx));
+  ASSERT_TRUE(G.getOrCreate(F, &Fy, FFy));
+  G.unionValues(X, Y);
+  G.rebuild();
+  EXPECT_TRUE(G.valueEqual(Fx, Fy));
+  EXPECT_TRUE(G.valueEqual(FFx, FFy));
+  EXPECT_EQ(G.functionSize(F), 2u);
+}
+
+TEST(EGraphTest, MergeExprMinLattice) {
+  // path : i64 -> i64 with :merge (min old new), as in Fig. 3b.
+  EGraph G;
+  FunctionDecl Decl;
+  Decl.Name = "len";
+  Decl.ArgSorts = {SortTable::I64Sort};
+  Decl.OutSort = SortTable::I64Sort;
+  uint32_t MinPrim;
+  ASSERT_TRUE(G.primitives().resolve(
+      "min", {SortTable::I64Sort, SortTable::I64Sort}, MinPrim));
+  Decl.MergeExpr = TypedExpr::makeCall(
+      TypedExpr::Kind::PrimCall, MinPrim, SortTable::I64Sort,
+      {TypedExpr::makeVar(0, SortTable::I64Sort),
+       TypedExpr::makeVar(1, SortTable::I64Sort)});
+  FunctionId F = G.declareFunction(std::move(Decl));
+
+  Value Key = G.mkI64(7);
+  ASSERT_TRUE(G.setValue(F, &Key, G.mkI64(30)));
+  ASSERT_TRUE(G.setValue(F, &Key, G.mkI64(20)));
+  EXPECT_EQ(G.lookup(F, &Key)->Bits, 20u);
+  ASSERT_TRUE(G.setValue(F, &Key, G.mkI64(25)));
+  EXPECT_EQ(G.lookup(F, &Key)->Bits, 20u) << "min lattice keeps the minimum";
+}
+
+TEST(EGraphTest, MergeConflictWithoutMergeExprFails) {
+  EGraph G;
+  FunctionDecl Decl;
+  Decl.Name = "g";
+  Decl.ArgSorts = {SortTable::I64Sort};
+  Decl.OutSort = SortTable::I64Sort;
+  FunctionId F = G.declareFunction(std::move(Decl));
+  Value Key = G.mkI64(1);
+  ASSERT_TRUE(G.setValue(F, &Key, G.mkI64(5)));
+  EXPECT_FALSE(G.setValue(F, &Key, G.mkI64(6)));
+  EXPECT_TRUE(G.failed());
+}
+
+TEST(EGraphTest, UnitOutputNeverConflicts) {
+  EGraph G;
+  FunctionDecl Decl;
+  Decl.Name = "r";
+  Decl.ArgSorts = {SortTable::I64Sort};
+  Decl.OutSort = SortTable::UnitSort;
+  FunctionId F = G.declareFunction(std::move(Decl));
+  Value Key = G.mkI64(1);
+  ASSERT_TRUE(G.setValue(F, &Key, G.mkUnit()));
+  ASSERT_TRUE(G.setValue(F, &Key, G.mkUnit()));
+  EXPECT_EQ(G.functionSize(F), 1u);
+}
+
+TEST(EGraphTest, BaseValueDefaultsFail) {
+  EGraph G;
+  FunctionDecl Decl;
+  Decl.Name = "h";
+  Decl.ArgSorts = {SortTable::I64Sort};
+  Decl.OutSort = SortTable::I64Sort;
+  FunctionId F = G.declareFunction(std::move(Decl));
+  Value Key = G.mkI64(3);
+  Value Out;
+  EXPECT_FALSE(G.getOrCreate(F, &Key, Out))
+      << "base-sort outputs have no default (§3.3)";
+  EXPECT_TRUE(G.failed());
+}
+
+TEST(EGraphTest, DefaultExprIsUsed) {
+  EGraph G;
+  FunctionDecl Decl;
+  Decl.Name = "k";
+  Decl.ArgSorts = {SortTable::I64Sort};
+  Decl.OutSort = SortTable::I64Sort;
+  Decl.DefaultExpr = TypedExpr::makeLit(G.mkI64(99));
+  FunctionId F = G.declareFunction(std::move(Decl));
+  Value Key = G.mkI64(3);
+  Value Out;
+  ASSERT_TRUE(G.getOrCreate(F, &Key, Out));
+  EXPECT_EQ(G.valueToI64(Out), 99);
+}
+
+TEST(EGraphTest, StringsAndRationalsIntern) {
+  EGraph G;
+  Value S1 = G.mkString("hello"), S2 = G.mkString("hello");
+  EXPECT_EQ(S1, S2);
+  Value R1 = G.mkRational(Rational(BigInt(2), BigInt(4)));
+  Value R2 = G.mkRational(Rational(BigInt(1), BigInt(2)));
+  EXPECT_EQ(R1, R2) << "rationals intern in normalized form";
+  EXPECT_EQ(G.valueToRational(R1).toString(), "1/2");
+}
+
+TEST(EGraphTest, SetsCanonicalizeUnderUnions) {
+  EGraph G;
+  SortId Node = G.declareSort("Node");
+  SortId NodeSet = G.declareSetSort("NodeSet", Node);
+  Value A = G.freshId(Node), B = G.freshId(Node), C = G.freshId(Node);
+  Value SetAB = G.mkSet(NodeSet, {A, B});
+  Value SetAC = G.mkSet(NodeSet, {A, C});
+  EXPECT_NE(SetAB, SetAC);
+  G.unionValues(B, C);
+  EXPECT_EQ(G.canonicalize(SetAB), G.canonicalize(SetAC))
+      << "sets with unified elements canonicalize to the same set";
+  EXPECT_EQ(G.valueToSet(G.canonicalize(SetAB)).size(), 2u);
+}
+
+TEST(EGraphTest, SetsDedupe) {
+  EGraph G;
+  SortId NodeSet = G.declareSetSort("ISet", SortTable::I64Sort);
+  Value S = G.mkSet(NodeSet, {G.mkI64(3), G.mkI64(1), G.mkI64(3)});
+  EXPECT_EQ(G.valueToSet(S).size(), 2u);
+}
+
+TEST(EGraphTest, RebuildCanonicalizesSetOutputs) {
+  EGraph G;
+  SortId Node = G.declareSort("Node");
+  SortId NodeSet = G.declareSetSort("NodeSet", Node);
+  FunctionDecl Decl;
+  Decl.Name = "fv";
+  Decl.ArgSorts = {SortTable::I64Sort};
+  Decl.OutSort = NodeSet;
+  uint32_t Intersect;
+  ASSERT_TRUE(
+      G.primitives().resolve("set-intersect", {NodeSet, NodeSet}, Intersect));
+  Decl.MergeExpr =
+      TypedExpr::makeCall(TypedExpr::Kind::PrimCall, Intersect, NodeSet,
+                          {TypedExpr::makeVar(0, NodeSet),
+                           TypedExpr::makeVar(1, NodeSet)});
+  FunctionId F = G.declareFunction(std::move(Decl));
+
+  Value A = G.freshId(Node), B = G.freshId(Node);
+  Value Key = G.mkI64(0);
+  ASSERT_TRUE(G.setValue(F, &Key, G.mkSet(NodeSet, {A, B})));
+  G.unionValues(A, B);
+  G.rebuild();
+  Value Out = *G.lookup(F, &Key);
+  EXPECT_EQ(G.valueToSet(Out).size(), 1u)
+      << "rebuild must deep-canonicalize container outputs";
+}
+
+/// Property test: after random unions and term insertions followed by one
+/// rebuild, (1) every stored value is canonical, (2) no function has two
+/// live rows with equal keys, and (3) congruence holds for every pair of
+/// rows with equal canonical keys.
+class RebuildPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RebuildPropertyTest, RebuildInvariants) {
+  std::mt19937 Rng(GetParam());
+  EGraph G;
+  SortId S = G.declareSort("T");
+  FunctionId F = declareUnaryCtor(G, S, "f");
+  FunctionId H = declareUnaryCtor(G, S, "h");
+
+  std::vector<Value> Ids;
+  for (int I = 0; I < 30; ++I)
+    Ids.push_back(G.freshId(S));
+  std::uniform_int_distribution<size_t> Pick(0, Ids.size() - 1);
+  std::uniform_int_distribution<int> Op(0, 2);
+  for (int Step = 0; Step < 200; ++Step) {
+    switch (Op(Rng)) {
+    case 0: {
+      Value Out;
+      ASSERT_TRUE(G.getOrCreate(F, &Ids[Pick(Rng)], Out));
+      Ids.push_back(Out);
+      break;
+    }
+    case 1: {
+      Value Out;
+      ASSERT_TRUE(G.getOrCreate(H, &Ids[Pick(Rng)], Out));
+      Ids.push_back(Out);
+      break;
+    }
+    case 2:
+      G.unionValues(Ids[Pick(Rng)], Ids[Pick(Rng)]);
+      break;
+    }
+  }
+  G.rebuild();
+  ASSERT_FALSE(G.failed()) << G.errorMessage();
+
+  for (FunctionId Func : {F, H}) {
+    const Table &T = *G.function(Func).Storage;
+    std::unordered_map<uint64_t, uint64_t> SeenKeys;
+    for (size_t Row = 0; Row < T.rowCount(); ++Row) {
+      if (!T.isLive(Row))
+        continue;
+      const Value *Cells = T.row(Row);
+      // (1) canonical values everywhere.
+      EXPECT_EQ(G.canonicalize(Cells[0]), Cells[0]);
+      EXPECT_EQ(G.canonicalize(Cells[1]), Cells[1]);
+      // (2) functional dependency: one live row per key.
+      auto [It, Fresh] = SeenKeys.emplace(Cells[0].Bits, Cells[1].Bits);
+      EXPECT_TRUE(Fresh) << "duplicate live key after rebuild";
+      // (3) congruence: equal keys imply equal outputs.
+      if (!Fresh)
+        EXPECT_EQ(It->second, Cells[1].Bits);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RebuildPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));

@@ -1,0 +1,650 @@
+//===- tests/core/LanguageTest.cpp - Surface language tests ----------------===//
+//
+// Part of egglog-cpp. End-to-end tests running complete egglog programs,
+// including every listing from §3 of the paper (Figs. 3a, 3b, 4a, 4b).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Frontend.h"
+
+#include "core/Extract.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+using namespace egglog;
+
+namespace {
+
+/// Runs a program and expects success.
+void expectOk(const std::string &Source) {
+  Frontend F;
+  EXPECT_TRUE(F.execute(Source)) << F.error();
+}
+
+/// Runs a program and expects failure containing \p Fragment.
+void expectError(const std::string &Source, const std::string &Fragment) {
+  Frontend F;
+  ASSERT_FALSE(F.execute(Source)) << "program should have failed";
+  EXPECT_NE(F.error().find(Fragment), std::string::npos)
+      << "error was: " << F.error();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Paper listings
+//===----------------------------------------------------------------------===
+
+TEST(LanguageTest, Fig3aTransitiveClosure) {
+  expectOk(R"(
+    (relation edge (i64 i64))
+    (relation path (i64 i64))
+    (rule ((edge x y))
+          ((path x y)))
+    (rule ((path x y) (edge y z))
+          ((path x z)))
+    (edge 1 2)
+    (edge 2 3)
+    (edge 3 4)
+    (run)
+    (check (path 1 4))
+    (check (path 1 2) (path 2 4) (path 1 3))
+  )");
+}
+
+TEST(LanguageTest, Fig3aNoFalsePaths) {
+  expectError(R"(
+    (relation edge (i64 i64))
+    (relation path (i64 i64))
+    (rule ((edge x y)) ((path x y)))
+    (rule ((path x y) (edge y z)) ((path x z)))
+    (edge 1 2)
+    (edge 3 4)
+    (run)
+    (check (path 1 4))
+  )",
+              "check failed");
+}
+
+TEST(LanguageTest, Fig3bShortestPath) {
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (function edge (i64 i64) i64)
+    (function path (i64 i64) i64 :merge (min old new))
+    (rule ((= (edge x y) len))
+          ((set (path x y) len)))
+    (rule ((= (path x y) xy) (= (edge y z) yz))
+          ((set (path x z) (+ xy yz))))
+    (set (edge 1 2) 10)
+    (set (edge 2 3) 10)
+    (set (edge 1 3) 30)
+    (run)
+    (check (path 1 3))
+    (check (= (path 1 3) 20))
+  )")) << F.error();
+  // The paper: "(check (path 1 3)) ;; prints 20".
+  Value Out;
+  ASSERT_TRUE(F.evalGround("(path 1 3)", Out));
+  EXPECT_EQ(F.graph().valueToI64(Out), 20);
+}
+
+TEST(LanguageTest, Fig4aNodeContraction) {
+  expectOk(R"(
+    (sort Node)
+    (function mk (i64) Node)
+    (relation edge (Node Node))
+    (relation path (Node Node))
+    (rule ((edge x y))
+          ((path x y)))
+    (rule ((path x y) (edge y z))
+          ((path x z)))
+    (edge (mk 1) (mk 2))
+    (edge (mk 2) (mk 3))
+    (edge (mk 5) (mk 6))
+    (union (mk 3) (mk 5))
+    (run)
+    (check (edge (mk 3) (mk 6)))
+    (check (path (mk 1) (mk 6)))
+  )");
+}
+
+TEST(LanguageTest, Fig4aPathNeedsTheUnion) {
+  // Without (union (mk 3) (mk 5)) the path from 1 to 6 must NOT exist.
+  expectError(R"(
+    (sort Node)
+    (function mk (i64) Node)
+    (relation edge (Node Node))
+    (relation path (Node Node))
+    (rule ((edge x y)) ((path x y)))
+    (rule ((path x y) (edge y z)) ((path x z)))
+    (edge (mk 1) (mk 2))
+    (edge (mk 2) (mk 3))
+    (edge (mk 5) (mk 6))
+    (run)
+    (check (path (mk 1) (mk 6)))
+  )",
+              "check failed");
+}
+
+TEST(LanguageTest, Fig4bBasicEqualitySaturation) {
+  expectOk(R"(
+    (datatype Math
+      (Num i64)
+      (Var String)
+      (Add Math Math)
+      (Mul Math Math))
+    ;; expr1 = 2 * (x + 3)
+    (define expr1 (Mul (Num 2) (Add (Var "x") (Num 3))))
+    ;; expr2 = 6 + 2 * x
+    (define expr2 (Add (Num 6) (Mul (Num 2) (Var "x"))))
+    (rewrite (Add a b) (Add b a))
+    (rewrite (Mul a (Add b c)) (Add (Mul a b) (Mul a c)))
+    (rewrite (Add (Num a) (Num b)) (Num (+ a b)))
+    (rewrite (Mul (Num a) (Num b)) (Num (* a b)))
+    (run 10)
+    (check (= expr1 expr2))
+  )");
+}
+
+//===----------------------------------------------------------------------===
+// Merge, default, lattices
+//===----------------------------------------------------------------------===
+
+TEST(LanguageTest, MaxLatticeMerge) {
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (function hi (i64) i64 :merge (max old new))
+    (set (hi 0) 10)
+    (set (hi 0) 5)
+    (set (hi 0) 42)
+    (check (= (hi 0) 42))
+  )")) << F.error();
+}
+
+TEST(LanguageTest, DefaultExpression) {
+  expectOk(R"(
+    (function counter (i64) i64 :default 0)
+    (relation seen (i64))
+    (seen 7)
+    (rule ((seen x)) ((set (counter x) (+ (counter x) 0))))
+    (run 2)
+    (check (= (counter 7) 0))
+  )");
+}
+
+TEST(LanguageTest, MergeConflictReportsError) {
+  expectError(R"(
+    (function f (i64) i64)
+    (set (f 0) 1)
+    (set (f 0) 2)
+  )",
+              "merge conflict");
+}
+
+//===----------------------------------------------------------------------===
+// Rewrites, guards, extraction
+//===----------------------------------------------------------------------===
+
+TEST(LanguageTest, GuardedRewriteOnlyFiresWhenConditionHolds) {
+  // x / x -> 1 only when the denominator is a nonzero constant; the
+  // motivating Herbie example from §1.
+  expectOk(R"(
+    (datatype Math
+      (Num i64)
+      (Div Math Math))
+    (rewrite (Div (Num a) (Num a)) (Num 1) :when ((!= a 0)))
+    (define good (Div (Num 4) (Num 4)))
+    (define bad (Div (Num 0) (Num 0)))
+    (run 4)
+    (check (= good (Num 1)))
+    (check (!= bad (Num 1)))
+  )");
+}
+
+TEST(LanguageTest, ExtractReturnsSmallestTerm) {
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (datatype Math
+      (Num i64)
+      (Add Math Math)
+      (Mul Math Math))
+    (define e (Add (Num 1) (Add (Num 2) (Num 3))))
+    (rewrite (Add (Num a) (Num b)) (Num (+ a b)))
+    (run 5)
+    (extract e)
+  )")) << F.error();
+  ASSERT_EQ(F.outputs().size(), 1u);
+  EXPECT_EQ(F.outputs()[0], "(Num 6)");
+}
+
+TEST(LanguageTest, ExtractRespectsCostAnnotations) {
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (datatype Expr
+      (Cheap :cost 1)
+      (Pricey :cost 100))
+    (define e (Pricey))
+    (union (Pricey) (Cheap))
+    (extract e)
+  )")) << F.error();
+  ASSERT_EQ(F.outputs().size(), 1u);
+  EXPECT_EQ(F.outputs()[0], "Cheap");
+}
+
+TEST(LanguageTest, BirewriteWorksBothWays) {
+  expectOk(R"(
+    (datatype Math (Num i64) (Add Math Math))
+    (birewrite (Add a b) (Add b a))
+    (define e1 (Add (Num 1) (Num 2)))
+    (define e2 (Add (Num 2) (Num 1)))
+    (run 3)
+    (check (= e1 e2))
+  )");
+}
+
+TEST(LanguageTest, ShiftRewriteFromFig2) {
+  // (a * 2) / 2 becomes a via the Fig. 2 rules.
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (datatype Math
+      (Num i64)
+      (Sym String)
+      (Mul Math Math)
+      (Div Math Math)
+      (Shl Math Math))
+    (rewrite (Mul x (Num 2)) (Shl x (Num 1)))
+    (rewrite (Div (Mul x y) z) (Mul x (Div y z)))
+    (rewrite (Div (Num a) (Num b)) (Num (/ a b)) :when ((!= b 0)))
+    (rewrite (Mul x (Num 1)) x)
+    (define start (Div (Mul (Sym "a") (Num 2)) (Num 2)))
+    (run 6)
+    (check (= start (Sym "a")))
+    (extract start)
+  )")) << F.error();
+  ASSERT_EQ(F.outputs().size(), 1u);
+  EXPECT_EQ(F.outputs()[0], "(Sym \"a\")");
+}
+
+//===----------------------------------------------------------------------===
+// Rules, lets, actions
+//===----------------------------------------------------------------------===
+
+TEST(LanguageTest, LetInActions) {
+  expectOk(R"(
+    (relation fact (i64))
+    (relation out (i64 i64))
+    (fact 5)
+    (rule ((fact x))
+          ((let y (* x x))
+           (out x y)))
+    (run 2)
+    (check (out 5 25))
+  )");
+}
+
+TEST(LanguageTest, CheckFailCommand) {
+  expectOk(R"(
+    (relation r (i64))
+    (r 1)
+    (check-fail (r 2))
+  )");
+}
+
+TEST(LanguageTest, PrimitiveFailureAbandonsMatchOnly) {
+  // Division by zero in an action kills that match but not the program.
+  expectOk(R"(
+    (relation in (i64))
+    (relation out (i64))
+    (in 0)
+    (in 2)
+    (rule ((in x)) ((out (/ 10 x))))
+    (run 2)
+    (check (out 5))
+    (check-fail (out 0))
+  )");
+}
+
+TEST(LanguageTest, RuleWithComparisonGuard) {
+  expectOk(R"(
+    (relation n (i64))
+    (relation big (i64))
+    (n 1) (n 10) (n 100)
+    (rule ((n x) (> x 5)) ((big x)))
+    (run 2)
+    (check (big 10) (big 100))
+    (check-fail (big 1))
+  )");
+}
+
+//===----------------------------------------------------------------------===
+// Static errors (§5.2: egglog statically typechecks rules)
+//===----------------------------------------------------------------------===
+
+TEST(LanguageTest, TypeErrorsAreCaughtStatically) {
+  expectError(R"(
+    (relation r (i64))
+    (r "hello")
+  )",
+              "sort");
+}
+
+TEST(LanguageTest, UnknownFunctionIsAnError) {
+  expectError("(frobnicate 1 2)", "unknown");
+}
+
+TEST(LanguageTest, UnboundVariableInActionIsAnError) {
+  expectError(R"(
+    (relation r (i64))
+    (rule ((r x)) ((r y)))
+  )",
+              "unbound");
+}
+
+TEST(LanguageTest, ArityErrorIsCaught) {
+  expectError(R"(
+    (relation r (i64 i64))
+    (r 1)
+  )",
+              "expects");
+}
+
+TEST(LanguageTest, UnionOfBaseSortsRejected) {
+  expectError("(union 1 2)", "user sorts");
+}
+
+TEST(LanguageTest, RedeclarationRejected) {
+  expectError(R"(
+    (relation r (i64))
+    (relation r (i64))
+  )",
+              "already declared");
+}
+
+//===----------------------------------------------------------------------===
+// Incremental runs
+//===----------------------------------------------------------------------===
+
+TEST(LanguageTest, SplitRunsBehaveLikeOneRun) {
+  expectOk(R"(
+    (relation edge (i64 i64))
+    (relation path (i64 i64))
+    (rule ((edge x y)) ((path x y)))
+    (rule ((path x y) (edge y z)) ((path x z)))
+    (edge 1 2)
+    (run 1)
+    (edge 2 3)
+    (run 2)
+    (edge 3 4)
+    (run)
+    (check (path 1 4))
+  )");
+}
+
+TEST(LanguageTest, UnionsBetweenRunsArePickedUp) {
+  expectOk(R"(
+    (sort N)
+    (function mk (i64) N)
+    (relation edge (N N))
+    (relation path (N N))
+    (rule ((edge x y)) ((path x y)))
+    (rule ((path x y) (edge y z)) ((path x z)))
+    (edge (mk 1) (mk 2))
+    (edge (mk 3) (mk 4))
+    (run)
+    (union (mk 2) (mk 3))
+    (run)
+    (check (path (mk 1) (mk 4)))
+  )");
+}
+
+//===----------------------------------------------------------------------===
+// Set containers (used by the lambda pearl, appendix A.2)
+//===----------------------------------------------------------------------===
+
+TEST(LanguageTest, SetPrimitives) {
+  expectOk(R"(
+    (sort ISet (Set i64))
+    (function s () ISet :merge (set-union old new))
+    (set (s) (set-insert (set-empty) 1))
+    (set (s) (set-insert (set-empty) 2))
+    (check (= (s) (set-insert (set-insert (set-empty) 1) 2)))
+    (check (set-contains (s) 1))
+    (check (set-not-contains (s) 3))
+    (check (= (set-length (s)) 2))
+  )");
+}
+
+TEST(LanguageTest, SetIntersectMerge) {
+  expectOk(R"(
+    (sort ISet (Set i64))
+    (function s () ISet :merge (set-intersect old new))
+    (set (s) (set-insert (set-insert (set-empty) 1) 2))
+    (set (s) (set-insert (set-insert (set-empty) 2) 3))
+    (check (= (s) (set-singleton 2)))
+  )");
+}
+
+//===----------------------------------------------------------------------===
+// Rationals
+//===----------------------------------------------------------------------===
+
+TEST(LanguageTest, RationalArithmetic) {
+  expectOk(R"(
+    (function lo () Rational :merge (max old new))
+    (set (lo) (rational 1 3))
+    (set (lo) (rational 1 4))
+    (check (= (lo) (rational 1 3)))
+    (check (= (+ (rational 1 3) (rational 1 6)) (rational 1 2)))
+    (check (< (rational 1 4) (rational 1 3)))
+  )");
+}
+
+//===----------------------------------------------------------------------===
+// More paper pearls and engine-level properties
+//===----------------------------------------------------------------------===
+
+TEST(LanguageTest, Fig18ProofDatatype) {
+  // Appendix A.4 (Fig. 18): proofs of connectivity internalized as terms,
+  // with proof irrelevance via the unifying merge; extraction returns a
+  // shortest proof.
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (datatype Proof
+      (Trans i64 Proof)
+      (PEdge i64 i64))
+    (function path (i64 i64) Proof)
+    (relation edge (i64 i64))
+
+    (rule ((edge x y))
+          ((set (path x y) (PEdge x y))))
+    (rule ((edge x y) (= p (path y z)))
+          ((set (path x z) (Trans x p))))
+
+    (edge 1 2)
+    (edge 2 3)
+    (edge 1 3)
+    (run)
+    (extract (path 1 3))
+  )")) << F.error();
+  ASSERT_EQ(F.outputs().size(), 1u);
+  // Two proofs exist: (PEdge 1 3) and (Trans 1 (PEdge 2 3)); extraction
+  // must return the smaller.
+  EXPECT_EQ(F.outputs()[0], "(PEdge 1 3)");
+}
+
+TEST(LanguageTest, SemiNaiveMatchesNaiveOnLatticeProgram) {
+  // Theorem 4.1 at the language level: shortest paths over a random graph
+  // computed with and without semi-naive evaluation agree on every entry.
+  std::mt19937 Rng(4242);
+  std::uniform_int_distribution<int> Node(0, 12), Weight(1, 9);
+  std::string Facts;
+  for (int I = 0; I < 40; ++I)
+    Facts += "(set (edge " + std::to_string(Node(Rng)) + " " +
+             std::to_string(Node(Rng)) + ") " +
+             std::to_string(Weight(Rng)) + ")\n";
+
+  auto Run = [&](bool SemiNaive) {
+    auto F = std::make_unique<Frontend>();
+    F->runOptions().SemiNaive = SemiNaive;
+    EXPECT_TRUE(F->execute(R"(
+      (function edge (i64 i64) i64 :merge (min old new))
+      (function path (i64 i64) i64 :merge (min old new))
+      (rule ((= (edge x y) len)) ((set (path x y) len)))
+      (rule ((= (path x y) xy) (= (edge y z) yz))
+            ((set (path x z) (+ xy yz))))
+    )" + Facts + "(run)\n"))
+        << F->error();
+    return F;
+  };
+  auto A = Run(true), B = Run(false);
+  for (int I = 0; I <= 12; ++I) {
+    for (int J = 0; J <= 12; ++J) {
+      std::string Term =
+          "(path " + std::to_string(I) + " " + std::to_string(J) + ")";
+      Value Va, Vb;
+      bool Ha = A->evalGround(Term, Va), Hb = B->evalGround(Term, Vb);
+      ASSERT_EQ(Ha, Hb) << Term;
+      if (Ha)
+        EXPECT_EQ(Va.Bits, Vb.Bits) << Term;
+    }
+  }
+}
+
+TEST(LanguageTest, SemiNaiveMatchesNaiveOnEqSatProgram) {
+  // Theorem 4.1 on an equality-saturation workload: both modes must
+  // produce the same equalities.
+  auto Run = [&](bool SemiNaive) {
+    Frontend F;
+    F.runOptions().SemiNaive = SemiNaive;
+    EXPECT_TRUE(F.execute(R"(
+      (datatype Math (Num i64) (Sym String)
+        (Add Math Math) (Mul Math Math))
+      (rewrite (Add a b) (Add b a))
+      (birewrite (Add (Add a b) c) (Add a (Add b c)))
+      (rewrite (Mul a (Add b c)) (Add (Mul a b) (Mul a c)))
+      (rewrite (Add (Num x) (Num y)) (Num (+ x y)))
+      (define e1 (Mul (Sym "p") (Add (Num 1) (Num 2))))
+      (define e2 (Add (Mul (Sym "p") (Num 1)) (Mul (Sym "p") (Num 2))))
+      (define e3 (Add (Add (Sym "a") (Sym "b")) (Sym "c")))
+      (define e4 (Add (Sym "c") (Add (Sym "b") (Sym "a"))))
+      (run 8)
+      (check (= e1 e2))
+      (check (= e3 e4))
+    )")) << F.error();
+    return F.graph().liveTupleCount();
+  };
+  EXPECT_EQ(Run(true), Run(false))
+      << "semi-naive and naive egglog must reach the same database";
+}
+
+TEST(LanguageTest, ExtractVariantsEnumeratesEquivalentTerms) {
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (datatype Math (Num i64) (Add Math Math))
+    (define e (Add (Num 1) (Num 2)))
+    (rewrite (Add a b) (Add b a))
+    (rewrite (Add (Num a) (Num b)) (Num (+ a b)))
+    (run 4)
+  )")) << F.error();
+  Value Root;
+  ASSERT_TRUE(F.evalGround("e", Root));
+  std::vector<ExtractedTerm> Variants = extractVariants(F.graph(), Root, 10);
+  ASSERT_GE(Variants.size(), 3u);
+  // Cheapest first; (Num 3) must be the best.
+  EXPECT_EQ(Variants[0].Text, "(Num 3)");
+  for (size_t I = 1; I < Variants.size(); ++I)
+    EXPECT_GE(Variants[I].Cost, Variants[I - 1].Cost);
+  bool HasCommuted = false;
+  for (const ExtractedTerm &V : Variants)
+    HasCommuted |= V.Text == "(Add (Num 2) (Num 1))";
+  EXPECT_TRUE(HasCommuted);
+}
+
+TEST(LanguageTest, RunReportSaturates) {
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (relation edge (i64 i64))
+    (relation path (i64 i64))
+    (rule ((edge x y)) ((path x y)))
+    (rule ((path x y) (edge y z)) ((path x z)))
+    (edge 1 2) (edge 2 3)
+    (run)
+  )")) << F.error();
+  EXPECT_TRUE(F.lastRun().Saturated);
+  EXPECT_LT(F.lastRun().Iterations.size(), 10u)
+      << "a 2-edge graph saturates quickly";
+}
+
+TEST(LanguageTest, TimeoutReportedThroughEngine) {
+  Frontend F;
+  F.runOptions().TimeoutSeconds = 0.01;
+  // An explosive associativity workload cannot finish in 10ms.
+  ASSERT_TRUE(F.execute(R"(
+    (datatype Math (Sym String) (Add Math Math))
+    (birewrite (Add (Add a b) c) (Add a (Add b c)))
+    (rewrite (Add a b) (Add b a))
+    (define t (Add (Add (Add (Add (Sym "a") (Sym "b")) (Sym "c"))
+                        (Add (Sym "d") (Sym "e")))
+                   (Add (Sym "f") (Sym "g"))))
+    (run 50)
+  )")) << F.error();
+  EXPECT_TRUE(F.lastRun().TimedOut || F.lastRun().Saturated);
+}
+
+TEST(LanguageTest, BigRationalLiteralRoundTrips) {
+  // rational-big handles parts beyond i64 (the paper's §6.2 overflow
+  // outlier cannot happen here).
+  expectOk(R"(
+    (function v () Rational :merge (max old new))
+    (set (v) (rational-big "123456789012345678901234567890" "7"))
+    (check (= (v) (rational-big "123456789012345678901234567890" "7")))
+    (check (< (rational 1 1) (v)))
+  )");
+}
+
+TEST(LanguageTest, DeleteActionRemovesFacts) {
+  expectOk(R"(
+    (relation r (i64))
+    (r 1)
+    (r 2)
+    (check (r 1) (r 2))
+    (delete (r 1))
+    (check-fail (r 1))
+    (check (r 2))
+  )");
+}
+
+TEST(LanguageTest, DeleteInRules) {
+  // Subsumption flavor: delete dominated entries when a better one shows
+  // up (delete + set composes in a rule head).
+  expectOk(R"(
+    (relation candidate (i64 i64))
+    (relation best (i64))
+    (candidate 1 10)
+    (candidate 1 3)
+    (rule ((candidate x a) (candidate x b) (< a b))
+          ((delete (candidate x b))))
+    (run 2)
+    (check (candidate 1 3))
+    (check-fail (candidate 1 10))
+  )");
+}
+
+TEST(LanguageTest, PrintSizeReportsLiveEntries) {
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (relation edge (i64 i64))
+    (edge 1 2)
+    (edge 2 3)
+    (edge 1 2)
+    (print-size edge)
+    (delete (edge 1 2))
+    (print-size edge)
+  )")) << F.error();
+  ASSERT_EQ(F.outputs().size(), 2u);
+  EXPECT_EQ(F.outputs()[0], "edge: 2");
+  EXPECT_EQ(F.outputs()[1], "edge: 1");
+}

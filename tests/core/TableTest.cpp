@@ -1,0 +1,155 @@
+//===- tests/core/TableTest.cpp - Function table tests ---------------------===//
+//
+// Part of egglog-cpp. Tests for the append-only functional tables with
+// timestamps (§5.1 "Database").
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_map>
+
+using egglog::Table;
+using egglog::Value;
+
+namespace {
+Value v(uint64_t Bits, uint32_t Sort = 2) { return Value(Sort, Bits); }
+} // namespace
+
+TEST(TableTest, InsertAndLookup) {
+  Table T(2);
+  Value Keys[2] = {v(1), v(2)};
+  EXPECT_FALSE(T.lookup(Keys).has_value());
+  EXPECT_FALSE(T.insert(Keys, v(10), 0).has_value());
+  auto Found = T.lookup(Keys);
+  ASSERT_TRUE(Found.has_value());
+  EXPECT_EQ(Found->Bits, 10u);
+  EXPECT_EQ(T.liveCount(), 1u);
+}
+
+TEST(TableTest, UpdateKillsOldRowAndReturnsPrevious) {
+  Table T(1);
+  Value Key[1] = {v(7)};
+  T.insert(Key, v(100), 0);
+  auto Old = T.insert(Key, v(200), 1);
+  ASSERT_TRUE(Old.has_value());
+  EXPECT_EQ(Old->Bits, 100u);
+  EXPECT_EQ(T.liveCount(), 1u);
+  EXPECT_EQ(T.rowCount(), 2u) << "updates append rather than overwrite";
+  EXPECT_FALSE(T.isLive(0));
+  EXPECT_TRUE(T.isLive(1));
+  EXPECT_EQ(T.stamp(1), 1u);
+  EXPECT_EQ(T.lookup(Key)->Bits, 200u);
+}
+
+TEST(TableTest, IdenticalReinsertIsANoOp) {
+  Table T(1);
+  Value Key[1] = {v(7)};
+  T.insert(Key, v(100), 0);
+  EXPECT_FALSE(T.insert(Key, v(100), 5).has_value());
+  EXPECT_EQ(T.rowCount(), 1u) << "no delta row for identical output";
+  EXPECT_EQ(T.stamp(0), 0u);
+}
+
+TEST(TableTest, EraseUnlinksRow) {
+  Table T(1);
+  Value KeyA[1] = {v(1)}, KeyB[1] = {v(2)};
+  T.insert(KeyA, v(10), 0);
+  T.insert(KeyB, v(20), 0);
+  EXPECT_TRUE(T.erase(KeyA));
+  EXPECT_FALSE(T.erase(KeyA)) << "double erase returns false";
+  EXPECT_FALSE(T.lookup(KeyA).has_value());
+  EXPECT_EQ(T.lookup(KeyB)->Bits, 20u);
+  EXPECT_EQ(T.liveCount(), 1u);
+}
+
+TEST(TableTest, NullaryTable) {
+  Table T(0);
+  Value Dummy;
+  EXPECT_FALSE(T.lookup(&Dummy).has_value());
+  T.insert(&Dummy, v(42), 0);
+  EXPECT_EQ(T.lookup(&Dummy)->Bits, 42u);
+  auto Old = T.insert(&Dummy, v(43), 1);
+  ASSERT_TRUE(Old.has_value());
+  EXPECT_EQ(Old->Bits, 42u);
+}
+
+TEST(TableTest, GrowsPastInitialCapacity) {
+  Table T(1);
+  for (uint64_t I = 0; I < 1000; ++I) {
+    Value Key[1] = {v(I)};
+    T.insert(Key, v(I * 2), 0);
+  }
+  EXPECT_EQ(T.liveCount(), 1000u);
+  for (uint64_t I = 0; I < 1000; ++I) {
+    Value Key[1] = {v(I)};
+    ASSERT_TRUE(T.lookup(Key).has_value());
+    EXPECT_EQ(T.lookup(Key)->Bits, I * 2);
+  }
+}
+
+TEST(TableTest, DistinguishesSorts) {
+  Table T(1);
+  Value KeyA[1] = {Value(2, 5)};
+  Value KeyB[1] = {Value(3, 5)};
+  T.insert(KeyA, v(1), 0);
+  EXPECT_FALSE(T.lookup(KeyB).has_value())
+      << "same bits under a different sort is a different key";
+}
+
+/// Property sweep: the table agrees with a std::unordered_map oracle under
+/// random insert/update/erase workloads (including backward-shift deletion
+/// stress).
+class TablePropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TablePropertyTest, MatchesMapOracle) {
+  std::mt19937 Rng(GetParam());
+  std::uniform_int_distribution<uint64_t> KeyDist(0, 200);
+  std::uniform_int_distribution<int> OpDist(0, 3);
+  Table T(1);
+  std::unordered_map<uint64_t, uint64_t> Oracle;
+  uint32_t Stamp = 0;
+  for (int Step = 0; Step < 3000; ++Step) {
+    uint64_t K = KeyDist(Rng);
+    Value Key[1] = {v(K)};
+    switch (OpDist(Rng)) {
+    case 0:
+    case 1: {
+      uint64_t Out = KeyDist(Rng);
+      T.insert(Key, v(Out), Stamp++);
+      Oracle[K] = Out;
+      break;
+    }
+    case 2: {
+      bool Erased = T.erase(Key);
+      EXPECT_EQ(Erased, Oracle.erase(K) > 0);
+      break;
+    }
+    case 3: {
+      auto Found = T.lookup(Key);
+      auto It = Oracle.find(K);
+      if (It == Oracle.end()) {
+        EXPECT_FALSE(Found.has_value());
+      } else {
+        ASSERT_TRUE(Found.has_value());
+        EXPECT_EQ(Found->Bits, It->second);
+      }
+      break;
+    }
+    }
+  }
+  EXPECT_EQ(T.liveCount(), Oracle.size());
+  // Final sweep: every oracle entry is present.
+  for (const auto &[K, Out] : Oracle) {
+    Value Key[1] = {v(K)};
+    auto Found = T.lookup(Key);
+    ASSERT_TRUE(Found.has_value());
+    EXPECT_EQ(Found->Bits, Out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TablePropertyTest,
+                         ::testing::Values(5u, 6u, 7u, 8u));

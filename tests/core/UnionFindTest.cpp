@@ -1,0 +1,88 @@
+//===- tests/core/UnionFindTest.cpp - Union-find tests ---------------------===//
+//
+// Part of egglog-cpp. Unit and property tests for the canonicalizing
+// union-find (§3.3 of the paper).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using egglog::UnionFind;
+
+TEST(UnionFindTest, MakeSetIsIdentity) {
+  UnionFind UF;
+  for (int I = 0; I < 10; ++I) {
+    uint64_t Id = UF.makeSet();
+    EXPECT_EQ(Id, static_cast<uint64_t>(I));
+    EXPECT_EQ(UF.find(Id), Id);
+  }
+  EXPECT_EQ(UF.size(), 10u);
+  EXPECT_EQ(UF.unionCount(), 0u);
+}
+
+TEST(UnionFindTest, UniteKeepsSmallestIdCanonical) {
+  UnionFind UF;
+  uint64_t A = UF.makeSet(), B = UF.makeSet(), C = UF.makeSet();
+  EXPECT_EQ(UF.unite(B, C), B);
+  EXPECT_EQ(UF.find(C), B);
+  EXPECT_EQ(UF.unite(C, A), A);
+  EXPECT_EQ(UF.find(B), A);
+  EXPECT_EQ(UF.find(C), A);
+  EXPECT_EQ(UF.unionCount(), 2u);
+}
+
+TEST(UnionFindTest, UniteIsIdempotent) {
+  UnionFind UF;
+  uint64_t A = UF.makeSet(), B = UF.makeSet();
+  UF.unite(A, B);
+  uint64_t Count = UF.unionCount();
+  UF.unite(A, B);
+  UF.unite(B, A);
+  EXPECT_EQ(UF.unionCount(), Count) << "re-uniting must not count";
+  EXPECT_TRUE(UF.congruent(A, B));
+}
+
+class UnionFindPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(UnionFindPropertyTest, EquivalenceRelationAxioms) {
+  std::mt19937 Rng(GetParam());
+  UnionFind UF;
+  constexpr int N = 200;
+  for (int I = 0; I < N; ++I)
+    UF.makeSet();
+  // Oracle: naive labels.
+  std::vector<int> Label(N);
+  for (int I = 0; I < N; ++I)
+    Label[I] = I;
+  std::uniform_int_distribution<int> Dist(0, N - 1);
+  for (int Step = 0; Step < 300; ++Step) {
+    int A = Dist(Rng), B = Dist(Rng);
+    UF.unite(A, B);
+    int La = Label[A], Lb = Label[B];
+    if (La != Lb)
+      for (int I = 0; I < N; ++I)
+        if (Label[I] == Lb)
+          Label[I] = La;
+    // Spot-check the full relation every 50 steps.
+    if (Step % 50 == 0) {
+      for (int I = 0; I < N; ++I)
+        for (int J = I + 1; J < N; J += 17)
+          EXPECT_EQ(UF.congruent(I, J), Label[I] == Label[J]);
+    }
+  }
+  // Canonical representative must be the minimum of its class.
+  for (int I = 0; I < N; ++I) {
+    uint64_t Root = UF.find(I);
+    EXPECT_LE(Root, static_cast<uint64_t>(I));
+    for (int J = 0; J < N; ++J)
+      if (Label[J] == Label[I])
+        EXPECT_GE(static_cast<uint64_t>(J), Root);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindPropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));

@@ -1,0 +1,280 @@
+//===- tests/datalog/DatalogTest.cpp - Datalog engine tests ----------------===//
+//
+// Part of egglog-cpp. Tests the Soufflé-style Datalog substrate: relations,
+// semi-naïve evaluation, and eqrel equivalence relations (§6.1 baselines).
+//
+//===----------------------------------------------------------------------===//
+
+#include "datalog/Evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace egglog::datalog;
+
+TEST(DatalogTest, TransitiveClosure) {
+  Database DB;
+  DB.declareRelation("edge", 2);
+  DB.declareRelation("path", 2);
+  Evaluator E(DB);
+  ASSERT_TRUE(E.addRule("path(x, y) :- edge(x, y).")) << E.error();
+  ASSERT_TRUE(E.addRule("path(x, z) :- path(x, y), edge(y, z).")) << E.error();
+  DB.relation("edge").insert({1, 2});
+  DB.relation("edge").insert({2, 3});
+  DB.relation("edge").insert({3, 4});
+  E.run();
+  EXPECT_TRUE(DB.relation("path").contains({1, 4}));
+  EXPECT_TRUE(DB.relation("path").contains({2, 4}));
+  EXPECT_FALSE(DB.relation("path").contains({4, 1}));
+  EXPECT_EQ(DB.relation("path").size(), 6u);
+}
+
+TEST(DatalogTest, FactsInRules) {
+  Database DB;
+  DB.declareRelation("edge", 2);
+  DB.declareRelation("path", 2);
+  Evaluator E(DB);
+  ASSERT_TRUE(E.addRule("edge(1, 2)."));
+  ASSERT_TRUE(E.addRule("edge(2, 3)."));
+  ASSERT_TRUE(E.addRule("path(x, y) :- edge(x, y)."));
+  ASSERT_TRUE(E.addRule("path(x, z) :- path(x, y), edge(y, z)."));
+  E.run();
+  EXPECT_TRUE(DB.relation("path").contains({1, 3}));
+}
+
+TEST(DatalogTest, SemiNaiveMatchesNaive) {
+  // Theorem 4.1 analogue for the Datalog substrate: both evaluation modes
+  // produce identical relations on a random graph.
+  std::mt19937 Rng(77);
+  std::uniform_int_distribution<Val> Node(0, 25);
+  std::vector<std::pair<Val, Val>> Edges;
+  for (int I = 0; I < 80; ++I)
+    Edges.emplace_back(Node(Rng), Node(Rng));
+
+  auto RunMode = [&](bool SemiNaive) {
+    Database DB;
+    DB.declareRelation("edge", 2);
+    DB.declareRelation("path", 2);
+    Evaluator E(DB);
+    EXPECT_TRUE(E.addRule("path(x, y) :- edge(x, y)."));
+    EXPECT_TRUE(E.addRule("path(x, z) :- path(x, y), edge(y, z)."));
+    for (auto [A, B] : Edges)
+      DB.relation("edge").insert({A, B});
+    EvalOptions Opts;
+    Opts.SemiNaive = SemiNaive;
+    E.run(Opts);
+    return DB.relation("path").size();
+  };
+  EXPECT_EQ(RunMode(true), RunMode(false));
+}
+
+TEST(DatalogTest, EqRelBasics) {
+  EqRel Eq;
+  EXPECT_TRUE(Eq.insert(1, 2));
+  EXPECT_FALSE(Eq.insert(2, 1));
+  EXPECT_TRUE(Eq.insert(2, 3));
+  EXPECT_TRUE(Eq.same(1, 3));
+  EXPECT_FALSE(Eq.same(1, 4));
+  EXPECT_EQ(Eq.members(1).size(), 3u);
+  // 3 elements merged + elements 0..3 exist; represented pairs of the big
+  // class = 9, plus singleton 0 = 1.
+  EXPECT_EQ(Eq.representedPairs(), 10u);
+}
+
+TEST(DatalogTest, EqRelJoinEnumeratesClassmates) {
+  // alias(x, y) is an eqrel; out(y) :- root(x), alias(x, y) enumerates the
+  // whole class of x.
+  Database DB;
+  DB.declareRelation("root", 1);
+  DB.declareRelation("out", 1);
+  DB.declareEqRel("alias");
+  DB.eqrel("alias").insert(10, 11);
+  DB.eqrel("alias").insert(11, 12);
+  DB.eqrel("alias").insert(20, 21);
+  Evaluator E(DB);
+  ASSERT_TRUE(E.addRule("out(y) :- root(x), alias(x, y).")) << E.error();
+  DB.relation("root").insert({10});
+  E.run();
+  EXPECT_TRUE(DB.relation("out").contains({10}));
+  EXPECT_TRUE(DB.relation("out").contains({11}));
+  EXPECT_TRUE(DB.relation("out").contains({12}));
+  EXPECT_FALSE(DB.relation("out").contains({20}));
+  EXPECT_EQ(DB.relation("out").size(), 3u);
+}
+
+TEST(DatalogTest, EqRelInHeadUnifies) {
+  // Steensgaard flavor: vpt(p, a), vpt(p, b) forces alias(a, b).
+  Database DB;
+  DB.declareRelation("vpt", 2);
+  DB.declareEqRel("alias");
+  Evaluator E(DB);
+  ASSERT_TRUE(E.addRule("alias(a, b) :- vpt(p, a), vpt(p, b).")) << E.error();
+  DB.relation("vpt").insert({1, 100});
+  DB.relation("vpt").insert({1, 101});
+  DB.relation("vpt").insert({2, 200});
+  E.run();
+  EXPECT_TRUE(DB.eqrel("alias").same(100, 101));
+  EXPECT_FALSE(DB.eqrel("alias").same(100, 200));
+}
+
+TEST(DatalogTest, EqRelDerivedEquivalencesPropagate) {
+  // New equivalences discovered mid-run must re-trigger rules that join
+  // over the eqrel.
+  Database DB;
+  DB.declareRelation("link", 2);
+  DB.declareRelation("reach", 1);
+  DB.declareEqRel("eq");
+  Evaluator E(DB);
+  // Reach spreads across links and equivalences; equivalence grows when two
+  // reached nodes are linked by "link".
+  ASSERT_TRUE(E.addRule("reach(y) :- reach(x), link(x, y).")) << E.error();
+  ASSERT_TRUE(E.addRule("reach(y) :- reach(x), eq(x, y).")) << E.error();
+  ASSERT_TRUE(E.addRule("eq(x, y) :- reach(x), reach(y), link(x, y)."))
+      << E.error();
+  DB.relation("reach").insert({1});
+  DB.relation("link").insert({1, 2});
+  DB.eqrel("eq").insert(2, 5);
+  DB.relation("link").insert({5, 6});
+  E.run();
+  EXPECT_TRUE(DB.relation("reach").contains({5}))
+      << "reach must cross the equivalence";
+  EXPECT_TRUE(DB.relation("reach").contains({6}));
+  EXPECT_TRUE(DB.eqrel("eq").same(1, 2));
+}
+
+TEST(DatalogTest, ConstantsInRules) {
+  Database DB;
+  DB.declareRelation("edge", 2);
+  DB.declareRelation("fromOne", 1);
+  Evaluator E(DB);
+  ASSERT_TRUE(E.addRule("fromOne(y) :- edge(1, y).")) << E.error();
+  DB.relation("edge").insert({1, 5});
+  DB.relation("edge").insert({2, 6});
+  E.run();
+  EXPECT_TRUE(DB.relation("fromOne").contains({5}));
+  EXPECT_FALSE(DB.relation("fromOne").contains({6}));
+}
+
+TEST(DatalogTest, ParserRejectsMalformedRules) {
+  Database DB;
+  DB.declareRelation("r", 1);
+  Evaluator E(DB);
+  EXPECT_FALSE(E.addRule("r(x) :- r(x)"));          // missing dot
+  EXPECT_FALSE(E.addRule("r(x, y) :- r(x)."));      // arity
+  EXPECT_FALSE(E.addRule("r(x) :- unknown(x)."));   // unknown relation
+  EXPECT_FALSE(E.addRule("r(y) :- r(x)."));         // unbound head var
+}
+
+TEST(DatalogTest, TimeoutStopsEvaluation) {
+  // A deliberately explosive rule set with a tiny timeout must stop and
+  // flag TimedOut.
+  Database DB;
+  DB.declareRelation("n", 1);
+  DB.declareRelation("pair", 2);
+  DB.declareRelation("big", 2);
+  Evaluator E(DB);
+  ASSERT_TRUE(E.addRule("pair(x, y) :- n(x), n(y)."));
+  ASSERT_TRUE(E.addRule("big(x, z) :- pair(x, y), pair(y, z)."));
+  for (Val I = 0; I < 600; ++I)
+    DB.relation("n").insert({I});
+  EvalOptions Opts;
+  Opts.TimeoutSeconds = 0.02;
+  EvalStats Stats = E.run(Opts);
+  EXPECT_TRUE(Stats.TimedOut);
+}
+
+/// Property: random graphs, semi-naive path == floyd-style oracle.
+class DatalogPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(DatalogPropertyTest, ReachabilityMatchesOracle) {
+  std::mt19937 Rng(GetParam());
+  constexpr int N = 18;
+  std::uniform_int_distribution<Val> Node(0, N - 1);
+  std::vector<std::vector<bool>> Adj(N, std::vector<bool>(N, false));
+  Database DB;
+  DB.declareRelation("edge", 2);
+  DB.declareRelation("path", 2);
+  Evaluator E(DB);
+  ASSERT_TRUE(E.addRule("path(x, y) :- edge(x, y)."));
+  ASSERT_TRUE(E.addRule("path(x, z) :- path(x, y), edge(y, z)."));
+  for (int I = 0; I < 40; ++I) {
+    Val A = Node(Rng), B = Node(Rng);
+    Adj[A][B] = true;
+    DB.relation("edge").insert({A, B});
+  }
+  E.run();
+  // Warshall oracle.
+  std::vector<std::vector<bool>> Reach = Adj;
+  for (int K = 0; K < N; ++K)
+    for (int I = 0; I < N; ++I)
+      for (int J = 0; J < N; ++J)
+        if (Reach[I][K] && Reach[K][J])
+          Reach[I][J] = true;
+  for (Val I = 0; I < N; ++I)
+    for (Val J = 0; J < N; ++J)
+      EXPECT_EQ(DB.relation("path").contains({I, J}), Reach[I][J])
+          << "(" << I << "," << J << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatalogPropertyTest,
+                         ::testing::Values(100u, 200u, 300u, 400u));
+
+TEST(DatalogTest, ReprRelationTracksRepresentatives) {
+  // The implicit E_repr relation models Soufflé's choice-domain pattern:
+  // one canonical representative per class (§6.1's cclyzer++ encoding).
+  Database DB;
+  DB.declareRelation("in", 1);
+  DB.declareRelation("out", 2);
+  DB.declareEqRel("eq");
+  DB.eqrel("eq").ensure(9);
+  DB.eqrel("eq").insert(3, 7);
+  Evaluator E(DB);
+  ASSERT_TRUE(E.addRule("out(x, r) :- in(x), eq_repr(x, r).")) << E.error();
+  DB.relation("in").insert({3});
+  DB.relation("in").insert({7});
+  DB.relation("in").insert({5});
+  E.run();
+  // 3 and 7 share one representative; 5 is its own.
+  Val Rep = DB.eqrel("eq").find(3);
+  EXPECT_TRUE(DB.relation("out").contains({3, Rep}));
+  EXPECT_TRUE(DB.relation("out").contains({7, Rep}));
+  EXPECT_TRUE(DB.relation("out").contains({5, 5}));
+}
+
+TEST(DatalogTest, ReprRelationIsReadOnly) {
+  Database DB;
+  DB.declareRelation("r", 2);
+  DB.declareEqRel("eq");
+  Evaluator E(DB);
+  EXPECT_FALSE(E.addRule("eq_repr(x, y) :- r(x, y)."));
+}
+
+TEST(DatalogTest, EqRelDeltaSemiNaiveMatchesNaive) {
+  // Semi-naïve evaluation with eqrel delta events must reach the same
+  // fixpoint as naïve evaluation on a workload that grows the eqrel
+  // mid-run.
+  auto Run = [&](bool SemiNaive) {
+    Database DB;
+    DB.declareRelation("link", 2);
+    DB.declareRelation("reach", 1);
+    DB.declareEqRel("eq");
+    DB.eqrel("eq").ensure(40);
+    Evaluator E(DB);
+    EXPECT_TRUE(E.addRule("reach(y) :- reach(x), link(x, y)."));
+    EXPECT_TRUE(E.addRule("reach(y) :- reach(x), eq(x, y)."));
+    EXPECT_TRUE(E.addRule("eq(x, y) :- reach(x), reach(y), link(x, y)."));
+    std::mt19937 Rng(31);
+    std::uniform_int_distribution<Val> Node(0, 39);
+    for (int I = 0; I < 60; ++I)
+      DB.relation("link").insert({Node(Rng), Node(Rng)});
+    DB.relation("reach").insert({0});
+    DB.eqrel("eq").insert(0, 13);
+    EvalOptions Opts;
+    Opts.SemiNaive = SemiNaive;
+    E.run(Opts);
+    return std::make_pair(DB.relation("reach").size(),
+                          DB.eqrel("eq").representedPairs());
+  };
+  EXPECT_EQ(Run(true), Run(false));
+}

@@ -1,0 +1,114 @@
+//===- tests/egraph/RunnerTest.cpp - Classic EqSat runner tests ------------===//
+//
+// Part of egglog-cpp. Tests the classic equality-saturation loop,
+// reproducing the Fig. 2 example of the paper on the egg-style baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "egraph/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace egglog::classic;
+
+TEST(RunnerTest, Fig2ShiftExample) {
+  // (a * 2) / 2 should become equivalent to a with the Fig. 2 rules plus
+  // cancellation.
+  EGraphClassic G;
+  ClassId A = G.addLeaf("a");
+  ClassId Two = G.addLeaf("Num", 2);
+  ClassId Mul = G.addCall("*", {A, Two});
+  ClassId Root = G.addCall("/", {Mul, Two});
+
+  Runner R(G);
+  ASSERT_TRUE(R.addRewrite("mul-to-shift", "(* ?x (Num 2))", "(<< ?x (Num 1))"));
+  ASSERT_TRUE(R.addRewrite("div-assoc", "(/ (* ?x ?y) ?z)", "(* ?x (/ ?y ?z))"));
+  ASSERT_TRUE(R.addRewrite("div-self", "(/ (Num 2) (Num 2))", "(Num 1)"));
+  ASSERT_TRUE(R.addRewrite("mul-one", "(* ?x (Num 1))", "?x"));
+
+  RunnerOptions Opts;
+  Opts.Iterations = 10;
+  Opts.UseBackoff = false;
+  RunnerReport Report = R.run(Opts);
+  EXPECT_TRUE(Report.Saturated);
+  EXPECT_EQ(G.find(Root), G.find(A)) << "(a*2)/2 must equal a";
+}
+
+TEST(RunnerTest, CommutativitySaturates) {
+  EGraphClassic G;
+  ClassId X = G.addLeaf("x"), Y = G.addLeaf("y");
+  ClassId Xy = G.addCall("+", {X, Y});
+  ClassId Yx = G.addCall("+", {Y, X});
+  Runner R(G);
+  ASSERT_TRUE(R.addRewrite("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"));
+  RunnerOptions Opts;
+  Opts.Iterations = 5;
+  Opts.UseBackoff = false;
+  RunnerReport Report = R.run(Opts);
+  EXPECT_TRUE(Report.Saturated);
+  EXPECT_EQ(G.find(Xy), G.find(Yx));
+}
+
+TEST(RunnerTest, RejectsUnboundRhsVariable) {
+  EGraphClassic G;
+  Runner R(G);
+  EXPECT_FALSE(R.addRewrite("bad", "(+ ?a ?a)", "(+ ?a ?b)"));
+}
+
+TEST(RunnerTest, NodeLimitStopsGrowth) {
+  // Associativity alone grows the e-graph; the node limit must stop it.
+  EGraphClassic G;
+  ClassId X = G.addLeaf("x");
+  ClassId T = X;
+  for (int I = 0; I < 6; ++I)
+    T = G.addCall("+", {T, X});
+  Runner R(G);
+  ASSERT_TRUE(R.addRewrite("assoc", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"));
+  ASSERT_TRUE(R.addRewrite("comm", "(+ ?a ?b)", "(+ ?b ?a)"));
+  RunnerOptions Opts;
+  Opts.Iterations = 100;
+  Opts.UseBackoff = false;
+  Opts.NodeLimit = 2000;
+  RunnerReport Report = R.run(Opts);
+  EXPECT_TRUE(Report.HitNodeLimit || Report.Saturated);
+  EXPECT_FALSE(Report.Iterations.empty());
+}
+
+TEST(RunnerTest, BackoffBansOverMatchingRules) {
+  EGraphClassic G;
+  ClassId X = G.addLeaf("x");
+  ClassId T = X;
+  for (int I = 0; I < 8; ++I)
+    T = G.addCall("+", {T, X});
+  Runner R(G);
+  ASSERT_TRUE(R.addRewrite("assoc", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"));
+  ASSERT_TRUE(R.addRewrite("comm", "(+ ?a ?b)", "(+ ?b ?a)"));
+  RunnerOptions Opts;
+  Opts.Iterations = 12;
+  Opts.UseBackoff = true;
+  Opts.BackoffMatchLimit = 8; // tiny threshold to force bans
+  Opts.BackoffBanLength = 2;
+  RunnerReport Report = R.run(Opts);
+  // With bans in place the run completes all iterations without exploding.
+  EXPECT_EQ(Report.Iterations.size(), 12u);
+}
+
+TEST(RunnerTest, GrowthCurveIsMonotone) {
+  EGraphClassic G;
+  ClassId X = G.addLeaf("x"), Y = G.addLeaf("y");
+  G.addCall("*", {G.addCall("+", {X, Y}), X});
+  Runner R(G);
+  ASSERT_TRUE(R.addRewrite("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"));
+  ASSERT_TRUE(R.addRewrite("comm-mul", "(* ?a ?b)", "(* ?b ?a)"));
+  ASSERT_TRUE(
+      R.addRewrite("distribute", "(* (+ ?a ?b) ?c)", "(+ (* ?a ?c) (* ?b ?c))"));
+  RunnerOptions Opts;
+  Opts.Iterations = 6;
+  Opts.UseBackoff = false;
+  RunnerReport Report = R.run(Opts);
+  size_t Last = 0;
+  for (const RunnerIteration &It : Report.Iterations) {
+    EXPECT_GE(It.ENodes, Last) << "EqSat only adds knowledge";
+    Last = It.ENodes;
+  }
+}

@@ -1,0 +1,133 @@
+//===- tests/herbie/FPExprTest.cpp - Expression language tests -------------===//
+//
+// Part of egglog-cpp. Tests for the mini-Herbie expression language,
+// double-double ground truth, and the error model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "herbie/ErrorModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace egglog;
+using namespace egglog::herbie;
+
+TEST(FPExprTest, ParseAndEval) {
+  ExprPtr E = parseFPExpr("(- (sqrt (+ x 1)) (sqrt x))");
+  ASSERT_NE(E, nullptr);
+  Env Inputs = {{"x", 4.0}};
+  EXPECT_DOUBLE_EQ(evalDouble(*E, Inputs), std::sqrt(5.0) - 2.0);
+}
+
+TEST(FPExprTest, ParseRejectsMalformed) {
+  EXPECT_EQ(parseFPExpr("(+ x)"), nullptr);       // arity
+  EXPECT_EQ(parseFPExpr("(log x)"), nullptr);     // unknown op
+  EXPECT_EQ(parseFPExpr("(+ x y) extra"), nullptr);
+}
+
+TEST(FPExprTest, SurfaceRoundTrip) {
+  const char *Source = "(fma (neg a) (cbrt b) (fabs (/ a b)))";
+  ExprPtr E = parseFPExpr(Source);
+  ASSERT_NE(E, nullptr);
+  ExprPtr E2 = parseFPExpr(toSurface(*E));
+  ASSERT_NE(E2, nullptr);
+  Env Inputs = {{"a", 3.5}, {"b", 2.25}};
+  EXPECT_DOUBLE_EQ(evalDouble(*E, Inputs), evalDouble(*E2, Inputs));
+}
+
+TEST(FPExprTest, EgglogTermRoundTrip) {
+  ExprPtr E = parseFPExpr("(- (cbrt (+ v 1)) (cbrt v))");
+  ASSERT_NE(E, nullptr);
+  std::string Term = toEgglogTerm(*E);
+  EXPECT_NE(Term.find("MCbrt"), std::string::npos);
+  ExprPtr Back = parseEgglogTerm(Term);
+  ASSERT_NE(Back, nullptr);
+  Env Inputs = {{"v", 100.0}};
+  EXPECT_DOUBLE_EQ(evalDouble(*E, Inputs), evalDouble(*Back, Inputs));
+}
+
+TEST(FPExprTest, FreeVariables) {
+  ExprPtr E = parseFPExpr("(+ (* a b) (- a c))");
+  ASSERT_NE(E, nullptr);
+  std::vector<std::string> Vars = freeVariables(*E);
+  EXPECT_EQ(Vars, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(DoubleDoubleTest, CapturesRoundoff) {
+  // 1e16 + 1 is not representable in binary64 but is in double-double.
+  DoubleDouble Big(1e16);
+  DoubleDouble Sum = Big + DoubleDouble(1.0);
+  DoubleDouble Back = Sum - Big;
+  EXPECT_DOUBLE_EQ(Back.toDouble(), 1.0);
+  // In plain double arithmetic this degenerates:
+  EXPECT_NE(1e16 + 1.0 - 1e16, 1.0);
+}
+
+TEST(DoubleDoubleTest, MulAndDiv) {
+  DoubleDouble X(1.0);
+  DoubleDouble Third = X / DoubleDouble(3.0);
+  DoubleDouble One = Third * DoubleDouble(3.0);
+  EXPECT_NEAR(One.toDouble(), 1.0, 1e-30);
+  // Residual accuracy beyond double: (1/3)*3 - 1 should be ~0 in DD.
+  DoubleDouble Err = One - X;
+  EXPECT_LT(std::abs(Err.toDouble()), 1e-30);
+}
+
+TEST(DoubleDoubleTest, SqrtRefines) {
+  DoubleDouble Two(2.0);
+  DoubleDouble Root = Two.sqrt();
+  DoubleDouble Square = Root * Root;
+  EXPECT_LT(std::abs((Square - Two).toDouble()), 1e-30);
+}
+
+TEST(DoubleDoubleTest, CbrtHandlesNegatives) {
+  DoubleDouble MinusEight(-8.0);
+  EXPECT_NEAR(MinusEight.cbrt().toDouble(), -2.0, 1e-15);
+  DoubleDouble Ten(10.0);
+  DoubleDouble Root = Ten.cbrt();
+  DoubleDouble Cube = Root * Root * Root;
+  EXPECT_LT(std::abs((Cube - Ten).toDouble()), 1e-28);
+}
+
+TEST(ErrorModelTest, UlpDistanceBasics) {
+  EXPECT_EQ(ulpDistance(1.0, 1.0), 0u);
+  EXPECT_EQ(ulpDistance(1.0, std::nextafter(1.0, 2.0)), 1u);
+  EXPECT_GT(ulpDistance(1.0, 2.0), 1u);
+  EXPECT_GT(ulpDistance(-1.0, 1.0), ulpDistance(1.0, 2.0));
+  EXPECT_EQ(ulpDistance(0.5, std::nan("")), UINT64_MAX);
+}
+
+TEST(ErrorModelTest, BitsOfError) {
+  EXPECT_DOUBLE_EQ(bitsOfError(1.0, 1.0), 0.0);
+  EXPECT_NEAR(bitsOfError(1.0, std::nextafter(1.0, 2.0)), 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(bitsOfError(std::nan(""), 1.0), 64.0);
+}
+
+TEST(ErrorModelTest, CancellationShowsHighError) {
+  // sqrt(x+1) - sqrt(x) at large x loses most of its bits in binary64.
+  ExprPtr Bad = parseFPExpr("(- (sqrt (+ x 1)) (sqrt x))");
+  ExprPtr Good = parseFPExpr("(/ 1 (+ (sqrt (+ x 1)) (sqrt x)))");
+  ASSERT_NE(Bad, nullptr);
+  ASSERT_NE(Good, nullptr);
+  SampleSet Samples =
+      samplePoints(*Bad, {VarRange{"x", 1e10, 1e14}}, 100, 42);
+  ASSERT_GT(Samples.Points.size(), 50u);
+  double BadError = averageError(*Bad, Samples);
+  double GoodError = averageError(*Good, Samples);
+  EXPECT_GT(BadError, 10.0) << "naive form must lose many bits";
+  EXPECT_LT(GoodError, 2.0) << "rationalized form must be accurate";
+}
+
+TEST(ErrorModelTest, SamplerRespectsRangesAndValidity) {
+  ExprPtr E = parseFPExpr("(sqrt x)");
+  SampleSet Samples = samplePoints(*E, {VarRange{"x", 1.0, 2.0}}, 64, 7);
+  EXPECT_EQ(Samples.Points.size(), 64u);
+  for (const Env &Point : Samples.Points) {
+    double X = Point.at("x");
+    EXPECT_GE(X, 1.0);
+    EXPECT_LE(X, 2.0);
+  }
+  // Deterministic in the seed.
+  SampleSet Again = samplePoints(*E, {VarRange{"x", 1.0, 2.0}}, 64, 7);
+  EXPECT_EQ(Samples.Points, Again.Points);
+}

@@ -1,0 +1,166 @@
+//===- tests/herbie/HerbieTest.cpp - Mini-Herbie pipeline tests ------------===//
+//
+// Part of egglog-cpp. End-to-end tests for the §6.2 case study: the sound
+// analysis pipeline must fix the classic cancellation benchmarks, and the
+// interval/not-equal analyses must prove the facts the paper describes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "herbie/Herbie.h"
+#include "herbie/Rules.h"
+
+#include "core/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace egglog;
+using namespace egglog::herbie;
+
+TEST(HerbieRulesTest, ProgramsLoad) {
+  Frontend Sound, Unsound;
+  EXPECT_TRUE(Sound.execute(herbieProgramText(true))) << Sound.error();
+  EXPECT_TRUE(Unsound.execute(herbieProgramText(false))) << Unsound.error();
+}
+
+TEST(HerbieRulesTest, IntervalAnalysisProvesVPlusOneNeqV) {
+  // The paper's §6.2 walkthrough: interval analysis proves v+1 != v, then
+  // injectivity lifts it through cbrt.
+  Frontend F;
+  F.runOptions().UseBackoff = true;
+  ASSERT_TRUE(F.execute(herbieProgramText(true))) << F.error();
+  ASSERT_TRUE(F.execute(R"(
+    (define v (MVar "v"))
+    (set (lo v) (rational 1 1))
+    (set (hi v) (rational 1000000 1))
+    (define vp1 (MAdd v (MNum (rational 1 1))))
+    (define diff (MSub vp1 v))
+    (define cdiff (MSub (MCbrt vp1) (MCbrt v)))
+    (run 12)
+    (check (neq vp1 v))
+    (check (neq (MCbrt vp1) (MCbrt v)))
+  )")) << F.error();
+}
+
+TEST(HerbieRulesTest, SoundGuardBlocksZeroOverZero) {
+  // x/x with an interval containing 0 must NOT rewrite to 1.
+  Frontend F;
+  F.runOptions().UseBackoff = true;
+  ASSERT_TRUE(F.execute(herbieProgramText(true))) << F.error();
+  ASSERT_TRUE(F.execute(R"(
+    (define x (MVar "x"))
+    (set (lo x) (rational -1 1))
+    (set (hi x) (rational 1 1))
+    (define q (MDiv x x))
+    (run 5)
+    (check-fail (= q (MNum (rational 1 1))))
+  )")) << F.error();
+}
+
+TEST(HerbieRulesTest, SoundGuardAllowsSafeDivision) {
+  Frontend F;
+  F.runOptions().UseBackoff = true;
+  ASSERT_TRUE(F.execute(herbieProgramText(true))) << F.error();
+  ASSERT_TRUE(F.execute(R"(
+    (define x (MVar "x"))
+    (set (lo x) (rational 1 2))
+    (set (hi x) (rational 100 1))
+    (define q (MDiv x x))
+    (run 5)
+    (check (= q (MNum (rational 1 1))))
+  )")) << F.error();
+}
+
+TEST(HerbieRulesTest, UnsoundRulesetMergesZeroOverZero) {
+  // The unguarded ruleset merges x/x with 1 even when x may be zero — the
+  // §1 unsoundness story.
+  Frontend F;
+  F.runOptions().UseBackoff = true;
+  ASSERT_TRUE(F.execute(herbieProgramText(false))) << F.error();
+  ASSERT_TRUE(F.execute(R"(
+    (define x (MVar "x"))
+    (define q (MDiv x x))
+    (run 5)
+    (check (= q (MNum (rational 1 1))))
+  )")) << F.error();
+}
+
+TEST(HerbieRulesTest, IntervalsTightenThroughSqrt) {
+  Frontend F;
+  F.runOptions().UseBackoff = true;
+  ASSERT_TRUE(F.execute(herbieProgramText(true))) << F.error();
+  ASSERT_TRUE(F.execute(R"(
+    (define x (MVar "x"))
+    (set (lo x) (rational 4 1))
+    (set (hi x) (rational 9 1))
+    (define r (MSqrt x))
+    (run 4)
+    (check (= (lo r) (rational 2 1)))
+    (check (= (hi r) (rational 3 1)))
+  )")) << F.error();
+}
+
+TEST(HerbieImproveTest, FixesSqrtCancellation) {
+  Benchmark Bench{"sqrt-add-one", "(- (sqrt (+ x 1)) (sqrt x))",
+                  {VarRange{"x", 1e6, 1e12}}};
+  HerbieOptions Opts;
+  Opts.Sound = true;
+  Opts.Iterations = 14;
+  HerbieResult Result = improveExpression(Bench, Opts);
+  ASSERT_TRUE(Result.Ok) << Result.FailureReason;
+  EXPECT_GT(Result.InitialErrorBits, 8.0) << "input must be inaccurate";
+  EXPECT_LT(Result.FinalErrorBits, Result.InitialErrorBits / 2)
+      << "mini-Herbie must substantially improve the kernel; best: "
+      << Result.BestExpr;
+}
+
+TEST(HerbieImproveTest, FixesCbrtCancellationWithNeqAnalysis) {
+  // The paper's flagship: needs flip3 guarded by the not-equal analysis.
+  Benchmark Bench{"cbrt-add-one", "(- (cbrt (+ v 1)) (cbrt v))",
+                  {VarRange{"v", 1e6, 1e12}}};
+  HerbieOptions Opts;
+  Opts.Sound = true;
+  Opts.Iterations = 14;
+  HerbieResult Result = improveExpression(Bench, Opts);
+  ASSERT_TRUE(Result.Ok) << Result.FailureReason;
+  EXPECT_GT(Result.InitialErrorBits, 8.0);
+  EXPECT_LT(Result.FinalErrorBits, Result.InitialErrorBits / 2)
+      << "best: " << Result.BestExpr;
+}
+
+TEST(HerbieImproveTest, UnsoundSelectionNeverAcceptsWorseCandidates) {
+  // Even with unsound rules, measurement-based selection must not return
+  // something less accurate than the input ("validate and discard").
+  Benchmark Bench{"x-over-x", "(/ (+ x 1) (+ x 1))",
+                  {VarRange{"x", 0.5, 100.0}}};
+  HerbieOptions Opts;
+  Opts.Sound = false;
+  HerbieResult Result = improveExpression(Bench, Opts);
+  ASSERT_TRUE(Result.Ok) << Result.FailureReason;
+  EXPECT_LE(Result.FinalErrorBits, Result.InitialErrorBits);
+}
+
+TEST(HerbieImproveTest, AccurateInputStaysAccurate) {
+  Benchmark Bench{"plain-add", "(+ x y)",
+                  {VarRange{"x", 1.0, 100.0}, VarRange{"y", 1.0, 100.0}}};
+  HerbieOptions Opts;
+  HerbieResult Result = improveExpression(Bench, Opts);
+  ASSERT_TRUE(Result.Ok) << Result.FailureReason;
+  EXPECT_LT(Result.InitialErrorBits, 1.0);
+  EXPECT_LE(Result.FinalErrorBits, Result.InitialErrorBits);
+}
+
+TEST(HerbieSuiteTest, SuiteIsWellFormed) {
+  const std::vector<Benchmark> &Suite = herbieSuite();
+  EXPECT_GE(Suite.size(), 40u);
+  for (const Benchmark &Bench : Suite) {
+    ExprPtr E = parseFPExpr(Bench.Expr);
+    ASSERT_NE(E, nullptr) << Bench.Name;
+    // Every free variable has a range.
+    for (const std::string &Var : freeVariables(*E)) {
+      bool Found = false;
+      for (const VarRange &Range : Bench.Ranges)
+        Found |= Range.Name == Var;
+      EXPECT_TRUE(Found) << Bench.Name << " misses range for " << Var;
+    }
+  }
+}

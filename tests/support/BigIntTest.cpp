@@ -1,0 +1,206 @@
+//===- tests/support/BigIntTest.cpp - BigInt unit tests --------------------===//
+//
+// Part of egglog-cpp. Unit and property tests for arbitrary-precision
+// integers, checked against native 64-bit arithmetic oracles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+
+using egglog::BigInt;
+
+TEST(BigIntTest, ZeroBasics) {
+  BigInt Zero;
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_FALSE(Zero.isNegative());
+  EXPECT_EQ(Zero.sign(), 0);
+  EXPECT_EQ(Zero.toString(), "0");
+  EXPECT_EQ(Zero.toInt64(), 0);
+  EXPECT_EQ(Zero, BigInt(0));
+  EXPECT_EQ((-Zero), Zero);
+}
+
+TEST(BigIntTest, SmallValues) {
+  EXPECT_EQ(BigInt(42).toString(), "42");
+  EXPECT_EQ(BigInt(-42).toString(), "-42");
+  EXPECT_EQ(BigInt(42).toInt64(), 42);
+  EXPECT_EQ(BigInt(-42).toInt64(), -42);
+  EXPECT_TRUE(BigInt(1).isOne());
+  EXPECT_FALSE(BigInt(-1).isOne());
+}
+
+TEST(BigIntTest, Int64Extremes) {
+  BigInt Min(INT64_MIN), Max(INT64_MAX);
+  EXPECT_TRUE(Min.fitsInt64());
+  EXPECT_TRUE(Max.fitsInt64());
+  EXPECT_EQ(Min.toInt64(), INT64_MIN);
+  EXPECT_EQ(Max.toInt64(), INT64_MAX);
+  EXPECT_EQ(Min.toString(), "-9223372036854775808");
+  EXPECT_EQ(Max.toString(), "9223372036854775807");
+  // One beyond INT64_MAX no longer fits.
+  BigInt Beyond = Max + BigInt(1);
+  EXPECT_FALSE(Beyond.fitsInt64());
+  // INT64_MIN fits exactly; one below does not.
+  EXPECT_FALSE((Min - BigInt(1)).fitsInt64());
+}
+
+TEST(BigIntTest, FromString) {
+  bool Ok = false;
+  EXPECT_EQ(BigInt::fromString("123456789012345678901234567890", Ok).toString(),
+            "123456789012345678901234567890");
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(BigInt::fromString("-987654321", Ok), BigInt(-987654321));
+  EXPECT_TRUE(Ok);
+  BigInt Bad = BigInt::fromString("12x3", Ok);
+  EXPECT_FALSE(Ok);
+  BigInt Empty = BigInt::fromString("", Ok);
+  EXPECT_FALSE(Ok);
+  BigInt JustSign = BigInt::fromString("-", Ok);
+  EXPECT_FALSE(Ok);
+  (void)Bad;
+  (void)Empty;
+  (void)JustSign;
+}
+
+TEST(BigIntTest, NegativeZeroNormalizes) {
+  bool Ok = false;
+  BigInt NegZero = BigInt::fromString("-0", Ok);
+  EXPECT_TRUE(Ok);
+  EXPECT_FALSE(NegZero.isNegative());
+  EXPECT_EQ(NegZero, BigInt(0));
+}
+
+TEST(BigIntTest, LargeMultiplication) {
+  bool Ok = false;
+  BigInt A = BigInt::fromString("123456789012345678901234567890", Ok);
+  BigInt B = BigInt::fromString("987654321098765432109876543210", Ok);
+  BigInt Product = A * B;
+  EXPECT_EQ(Product.toString(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigIntTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ(BigInt(7) / BigInt(2), BigInt(3));
+  EXPECT_EQ(BigInt(-7) / BigInt(2), BigInt(-3));
+  EXPECT_EQ(BigInt(7) / BigInt(-2), BigInt(-3));
+  EXPECT_EQ(BigInt(-7) / BigInt(-2), BigInt(3));
+  EXPECT_EQ(BigInt(7) % BigInt(2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) % BigInt(2), BigInt(-1));
+  EXPECT_EQ(BigInt(7) % BigInt(-2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) % BigInt(-2), BigInt(-1));
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::gcd(BigInt(5), BigInt(0)), BigInt(5));
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)), BigInt(1));
+}
+
+TEST(BigIntTest, Pow) {
+  EXPECT_EQ(BigInt(2).pow(10), BigInt(1024));
+  EXPECT_EQ(BigInt(10).pow(0), BigInt(1));
+  EXPECT_EQ(BigInt(3).pow(40).toString(), "12157665459056928801");
+  EXPECT_EQ(BigInt(-2).pow(3), BigInt(-8));
+  EXPECT_EQ(BigInt(-2).pow(4), BigInt(16));
+}
+
+TEST(BigIntTest, Isqrt) {
+  EXPECT_EQ(BigInt(0).isqrt(), BigInt(0));
+  EXPECT_EQ(BigInt(1).isqrt(), BigInt(1));
+  EXPECT_EQ(BigInt(15).isqrt(), BigInt(3));
+  EXPECT_EQ(BigInt(16).isqrt(), BigInt(4));
+  EXPECT_EQ(BigInt(17).isqrt(), BigInt(4));
+  BigInt Big = BigInt(123456789).pow(2);
+  EXPECT_EQ(Big.isqrt(), BigInt(123456789));
+  EXPECT_EQ((Big + BigInt(1)).isqrt(), BigInt(123456789));
+  EXPECT_EQ((Big - BigInt(1)).isqrt(), BigInt(123456788));
+}
+
+TEST(BigIntTest, ShiftLeft) {
+  EXPECT_EQ(BigInt(1).shiftLeft(0), BigInt(1));
+  EXPECT_EQ(BigInt(1).shiftLeft(10), BigInt(1024));
+  EXPECT_EQ(BigInt(3).shiftLeft(33).toString(), "25769803776");
+  EXPECT_EQ(BigInt(-1).shiftLeft(4), BigInt(-16));
+  EXPECT_EQ(BigInt(0).shiftLeft(100), BigInt(0));
+}
+
+TEST(BigIntTest, BitWidth) {
+  EXPECT_EQ(BigInt(0).bitWidth(), 0u);
+  EXPECT_EQ(BigInt(1).bitWidth(), 1u);
+  EXPECT_EQ(BigInt(2).bitWidth(), 2u);
+  EXPECT_EQ(BigInt(255).bitWidth(), 8u);
+  EXPECT_EQ(BigInt(256).bitWidth(), 9u);
+  EXPECT_EQ(BigInt(1).shiftLeft(100).bitWidth(), 101u);
+}
+
+TEST(BigIntTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(12345).toDouble(), 12345.0);
+  EXPECT_DOUBLE_EQ(BigInt(-12345).toDouble(), -12345.0);
+  BigInt Big = BigInt(1).shiftLeft(64);
+  EXPECT_DOUBLE_EQ(Big.toDouble(), 18446744073709551616.0);
+}
+
+/// Property sweep: random 64-bit pairs agree with __int128 oracles for
+/// + - * and with int64 oracles for divmod.
+class BigIntPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BigIntPropertyTest, ArithmeticMatchesNativeOracle) {
+  std::mt19937_64 Rng(GetParam());
+  std::uniform_int_distribution<int64_t> Dist(-1000000000LL, 1000000000LL);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    int64_t X = Dist(Rng), Y = Dist(Rng);
+    BigInt A(X), B(Y);
+    EXPECT_EQ((A + B).toInt64(), X + Y);
+    EXPECT_EQ((A - B).toInt64(), X - Y);
+    __int128 Product = static_cast<__int128>(X) * Y;
+    BigInt P = A * B;
+    EXPECT_EQ(P.toDouble(), static_cast<double>(Product));
+    if (Y != 0) {
+      EXPECT_EQ((A / B).toInt64(), X / Y);
+      EXPECT_EQ((A % B).toInt64(), X % Y);
+    }
+    EXPECT_EQ(A.compare(B), X < Y ? -1 : (X == Y ? 0 : 1));
+  }
+}
+
+TEST_P(BigIntPropertyTest, DivModRoundTrips) {
+  std::mt19937_64 Rng(GetParam() * 7919 + 13);
+  std::uniform_int_distribution<int64_t> Dist(-1000000000LL, 1000000000LL);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    BigInt A = BigInt(Dist(Rng)) * BigInt(Dist(Rng)) + BigInt(Dist(Rng));
+    BigInt B = BigInt(Dist(Rng));
+    if (B.isZero())
+      continue;
+    BigInt Q, R;
+    BigInt::divmod(A, B, Q, R);
+    EXPECT_EQ(Q * B + R, A) << "divmod must round-trip";
+    // |R| < |B| and R carries the dividend's sign (or is zero).
+    BigInt AbsR = R.isNegative() ? -R : R;
+    BigInt AbsB = B.isNegative() ? -B : B;
+    EXPECT_LT(AbsR.compare(AbsB), 0);
+    if (!R.isZero())
+      EXPECT_EQ(R.sign(), A.sign());
+  }
+}
+
+TEST_P(BigIntPropertyTest, IsqrtBounds) {
+  std::mt19937_64 Rng(GetParam() * 104729 + 7);
+  std::uniform_int_distribution<int64_t> Dist(0, 1000000000LL);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    BigInt V = BigInt(Dist(Rng)) * BigInt(Dist(Rng));
+    BigInt S = V.isqrt();
+    EXPECT_LE((S * S).compare(V), 0);
+    BigInt Next = S + BigInt(1);
+    EXPECT_GT((Next * Next).compare(V), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234u));

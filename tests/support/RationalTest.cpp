@@ -1,0 +1,191 @@
+//===- tests/support/RationalTest.cpp - Rational unit tests ----------------===//
+//
+// Part of egglog-cpp. Tests for exact rational arithmetic, including the
+// sqrt/cbrt bounds used by the mini-Herbie interval analysis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using egglog::BigInt;
+using egglog::Rational;
+
+TEST(RationalTest, NormalizationInvariants) {
+  Rational Half(BigInt(2), BigInt(4));
+  EXPECT_EQ(Half.numerator(), BigInt(1));
+  EXPECT_EQ(Half.denominator(), BigInt(2));
+
+  Rational NegHalf(BigInt(1), BigInt(-2));
+  EXPECT_TRUE(NegHalf.isNegative());
+  EXPECT_EQ(NegHalf.numerator(), BigInt(-1));
+  EXPECT_EQ(NegHalf.denominator(), BigInt(2));
+
+  Rational Zero(BigInt(0), BigInt(-7));
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_EQ(Zero.denominator(), BigInt(1));
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational Third(BigInt(1), BigInt(3));
+  Rational Quarter(BigInt(1), BigInt(4));
+  EXPECT_EQ((Third + Quarter).toString(), "7/12");
+  EXPECT_EQ((Third - Quarter).toString(), "1/12");
+  EXPECT_EQ((Third * Quarter).toString(), "1/12");
+  EXPECT_EQ((Third / Quarter).toString(), "4/3");
+  EXPECT_EQ((-Third).toString(), "-1/3");
+  EXPECT_EQ(Third.inverse().toString(), "3");
+}
+
+TEST(RationalTest, Comparison) {
+  Rational A(BigInt(1), BigInt(3)), B(BigInt(1), BigInt(4));
+  EXPECT_GT(A, B);
+  EXPECT_LT(B, A);
+  EXPECT_LE(A, A);
+  EXPECT_EQ(Rational::min(A, B), B);
+  EXPECT_EQ(Rational::max(A, B), A);
+  EXPECT_LT(Rational(-5), Rational(3));
+}
+
+TEST(RationalTest, FromDoubleExact) {
+  // Doubles are binary rationals, so the conversion must be lossless.
+  EXPECT_EQ(Rational::fromDouble(0.5).toString(), "1/2");
+  EXPECT_EQ(Rational::fromDouble(0.25).toString(), "1/4");
+  EXPECT_EQ(Rational::fromDouble(3.0).toString(), "3");
+  EXPECT_EQ(Rational::fromDouble(-1.75).toString(), "-7/4");
+  EXPECT_EQ(Rational::fromDouble(0.0).toString(), "0");
+  // 0.1 is not representable; round-trip through double must be exact.
+  Rational Tenth = Rational::fromDouble(0.1);
+  EXPECT_DOUBLE_EQ(Tenth.toDouble(), 0.1);
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(BigInt(1), BigInt(3)).toDouble(),
+                   1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Rational(BigInt(-22), BigInt(7)).toDouble(), -22.0 / 7.0);
+  EXPECT_DOUBLE_EQ(Rational(1000000007).toDouble(), 1000000007.0);
+}
+
+TEST(RationalTest, SqrtBoundsBracketTrueRoot) {
+  Rational Two(2);
+  Rational Lo = Two.sqrtLower(), Hi = Two.sqrtUpper();
+  EXPECT_LE(Lo * Lo, Two);
+  EXPECT_GE(Hi * Hi, Two);
+  EXPECT_LT((Hi - Lo).toDouble(), 1e-10);
+
+  Rational Nine(9);
+  EXPECT_EQ(Nine.sqrtLower(), Rational(3));
+  EXPECT_EQ(Nine.sqrtUpper(), Rational(3));
+
+  Rational Zero(0);
+  EXPECT_EQ(Zero.sqrtLower(), Rational(0));
+  EXPECT_EQ(Zero.sqrtUpper(), Rational(0));
+}
+
+TEST(RationalTest, CbrtBoundsBracketTrueRoot) {
+  Rational Eight(8);
+  EXPECT_EQ(Eight.cbrtLower(), Rational(2));
+  EXPECT_EQ(Eight.cbrtUpper(), Rational(2));
+
+  Rational Ten(10);
+  Rational Lo = Ten.cbrtLower(), Hi = Ten.cbrtUpper();
+  EXPECT_LE(Lo * Lo * Lo, Ten);
+  EXPECT_GE(Hi * Hi * Hi, Ten);
+  EXPECT_LT((Hi - Lo).toDouble(), 1e-10);
+
+  // cbrt is odd; negative inputs flip the bounds.
+  Rational MinusTen(-10);
+  Rational NLo = MinusTen.cbrtLower(), NHi = MinusTen.cbrtUpper();
+  EXPECT_LE(NLo * NLo * NLo, MinusTen);
+  EXPECT_GE(NHi * NHi * NHi, MinusTen);
+  EXPECT_LE(NLo, NHi);
+}
+
+TEST(RationalTest, Pow) {
+  Rational Half(BigInt(1), BigInt(2));
+  EXPECT_EQ(Half.pow(3).toString(), "1/8");
+  EXPECT_EQ(Half.pow(0).toString(), "1");
+  EXPECT_EQ(Half.pow(-2).toString(), "4");
+  EXPECT_EQ(Rational(-3).pow(3).toString(), "-27");
+}
+
+TEST(RationalTest, AbsAndSign) {
+  EXPECT_EQ(Rational(-5).abs(), Rational(5));
+  EXPECT_EQ(Rational(5).abs(), Rational(5));
+  EXPECT_EQ(Rational(-5).sign(), -1);
+  EXPECT_EQ(Rational(0).sign(), 0);
+  EXPECT_EQ(Rational(5).sign(), 1);
+}
+
+TEST(RationalTest, NoOverflowOnHugeValues) {
+  // The paper notes an overflow failure in egglog's fixed-width rationals
+  // (§6.2 far-right outlier); arbitrary precision must handle this.
+  Rational Big = Rational(BigInt(10).pow(30), BigInt(1));
+  Rational Result = Big * Big + Big;
+  EXPECT_EQ(Result.numerator().toString(),
+            "1000000000000000000000000000001000000000000000000000000000000");
+}
+
+class RationalPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RationalPropertyTest, FieldAxioms) {
+  std::mt19937_64 Rng(GetParam());
+  std::uniform_int_distribution<int64_t> Dist(-1000, 1000);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    int64_t NumA = Dist(Rng), NumB = Dist(Rng), NumC = Dist(Rng);
+    int64_t DenA = Dist(Rng), DenB = Dist(Rng), DenC = Dist(Rng);
+    if (DenA == 0 || DenB == 0 || DenC == 0)
+      continue;
+    Rational A = Rational(BigInt(NumA), BigInt(DenA));
+    Rational B = Rational(BigInt(NumB), BigInt(DenB));
+    Rational C = Rational(BigInt(NumC), BigInt(DenC));
+    EXPECT_EQ(A + B, B + A);
+    EXPECT_EQ((A + B) + C, A + (B + C));
+    EXPECT_EQ(A * (B + C), A * B + A * C);
+    EXPECT_EQ(A + Rational(0), A);
+    EXPECT_EQ(A * Rational(1), A);
+    EXPECT_EQ(A - A, Rational(0));
+    if (!A.isZero())
+      EXPECT_EQ(A * A.inverse(), Rational(1));
+  }
+}
+
+TEST_P(RationalPropertyTest, SqrtBoundsAlwaysBracket) {
+  std::mt19937_64 Rng(GetParam() * 31 + 5);
+  std::uniform_int_distribution<int64_t> Dist(0, 100000);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    int64_t Num = Dist(Rng), Den = Dist(Rng) + 1;
+    Rational V = Rational(BigInt(Num), BigInt(Den));
+    Rational Lo = V.sqrtLower(), Hi = V.sqrtUpper();
+    EXPECT_LE(Lo * Lo, V);
+    EXPECT_GE(Hi * Hi, V);
+    EXPECT_LE(Lo, Hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
+                         ::testing::Values(1u, 7u, 99u));
+
+TEST(RationalTest, OutwardRoundingBrackets) {
+  // Rounding must be outward (roundDown <= v <= roundUp) and idempotent on
+  // small values.
+  Rational Third(BigInt(1), BigInt(3));
+  EXPECT_EQ(Third.roundDown(64), Third) << "small values pass through";
+  Rational Huge = Rational(BigInt(10).pow(40) + BigInt(7), BigInt(10).pow(39));
+  Rational Down = Huge.roundDown(64), Up = Huge.roundUp(64);
+  EXPECT_LE(Down, Huge);
+  EXPECT_GE(Up, Huge);
+  EXPECT_LE(Down.numerator().bitWidth(), 70u);
+  EXPECT_LE(Down.denominator().bitWidth(), 70u);
+  // The loss is bounded: the bracket is tight to ~2^-60 relative error.
+  EXPECT_LT(((Up - Down) / Huge).toDouble(), 1e-15);
+}
+
+TEST(RationalTest, OutwardRoundingNegative) {
+  Rational V = -Rational(BigInt(10).pow(40) + BigInt(7), BigInt(10).pow(39));
+  EXPECT_LE(V.roundDown(64), V);
+  EXPECT_GE(V.roundUp(64), V);
+}

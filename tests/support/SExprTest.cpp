@@ -1,0 +1,126 @@
+//===- tests/support/SExprTest.cpp - S-expression reader tests -------------===//
+//
+// Part of egglog-cpp. Tests for the surface-syntax reader.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SExpr.h"
+
+#include <gtest/gtest.h>
+
+using egglog::parseSExprs;
+using egglog::ParseResult;
+using egglog::SExpr;
+
+TEST(SExprTest, ParsesAtoms) {
+  ParseResult R = parseSExprs("foo 42 -17 \"hello\" 3.25");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Forms.size(), 5u);
+  EXPECT_TRUE(R.Forms[0].isSymbol("foo"));
+  EXPECT_TRUE(R.Forms[1].isInteger());
+  EXPECT_EQ(R.Forms[1].IntValue, 42);
+  EXPECT_EQ(R.Forms[2].IntValue, -17);
+  EXPECT_TRUE(R.Forms[3].isString());
+  EXPECT_EQ(R.Forms[3].Text, "hello");
+  EXPECT_TRUE(R.Forms[4].isFloat());
+  EXPECT_DOUBLE_EQ(R.Forms[4].FloatValue, 3.25);
+}
+
+TEST(SExprTest, ParsesNestedLists) {
+  ParseResult R = parseSExprs("(rule ((edge x y)) ((path x y)))");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Forms.size(), 1u);
+  const SExpr &Rule = R.Forms[0];
+  ASSERT_TRUE(Rule.isCall("rule"));
+  ASSERT_EQ(Rule.size(), 3u);
+  EXPECT_TRUE(Rule[1].isList());
+  EXPECT_TRUE(Rule[1][0].isCall("edge"));
+  EXPECT_TRUE(Rule[2][0].isCall("path"));
+}
+
+TEST(SExprTest, SkipsComments) {
+  ParseResult R = parseSExprs(";; a comment\n(a b) ; trailing\n(c)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Forms.size(), 2u);
+  EXPECT_TRUE(R.Forms[0].isCall("a"));
+  EXPECT_TRUE(R.Forms[1].isCall("c"));
+}
+
+TEST(SExprTest, TracksLineNumbers) {
+  ParseResult R = parseSExprs("(a)\n(b)\n  (c)");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Forms[0].Line, 1u);
+  EXPECT_EQ(R.Forms[1].Line, 2u);
+  EXPECT_EQ(R.Forms[2].Line, 3u);
+}
+
+TEST(SExprTest, StringEscapes) {
+  ParseResult R = parseSExprs(R"(("a\"b" "c\\d" "e\nf"))");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const SExpr &List = R.Forms[0];
+  EXPECT_EQ(List[0].Text, "a\"b");
+  EXPECT_EQ(List[1].Text, "c\\d");
+  EXPECT_EQ(List[2].Text, "e\nf");
+}
+
+TEST(SExprTest, SymbolsWithOperatorCharacters) {
+  ParseResult R = parseSExprs("(+ a-b? <= :merge)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const SExpr &List = R.Forms[0];
+  EXPECT_TRUE(List[0].isSymbol("+"));
+  EXPECT_TRUE(List[1].isSymbol("a-b?"));
+  EXPECT_TRUE(List[2].isSymbol("<="));
+  EXPECT_TRUE(List[3].isSymbol(":merge"));
+}
+
+TEST(SExprTest, ErrorsOnUnterminatedList) {
+  ParseResult R = parseSExprs("(a (b c)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unterminated"), std::string::npos);
+}
+
+TEST(SExprTest, ErrorsOnStrayCloseParen) {
+  ParseResult R = parseSExprs("a) b");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(SExprTest, ErrorsOnUnterminatedString) {
+  ParseResult R = parseSExprs("\"abc");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(SExprTest, ErrorsOnHugeIntegerLiteral) {
+  ParseResult R = parseSExprs("99999999999999999999999999");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(SExprTest, EmptyListIsAForm) {
+  ParseResult R = parseSExprs("()");
+  ASSERT_TRUE(R.Ok);
+  ASSERT_EQ(R.Forms.size(), 1u);
+  EXPECT_TRUE(R.Forms[0].isList());
+  EXPECT_EQ(R.Forms[0].size(), 0u);
+}
+
+TEST(SExprTest, RoundTripsThroughToString) {
+  const char *Source = "(rule ((= e (Add a b)) (!= a b)) ((union e (Add b a))))";
+  ParseResult R1 = parseSExprs(Source);
+  ASSERT_TRUE(R1.Ok);
+  std::string Printed = R1.Forms[0].toString();
+  ParseResult R2 = parseSExprs(Printed);
+  ASSERT_TRUE(R2.Ok);
+  EXPECT_EQ(R2.Forms[0].toString(), Printed);
+}
+
+TEST(SExprTest, PlusPrefixedNumber) {
+  ParseResult R = parseSExprs("+42");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Forms[0].isInteger());
+  EXPECT_EQ(R.Forms[0].IntValue, 42);
+}
+
+TEST(SExprTest, MinusAloneIsASymbol) {
+  ParseResult R = parseSExprs("- -");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Forms[0].isSymbol("-"));
+}

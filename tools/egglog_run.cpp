@@ -1,0 +1,78 @@
+//===- tools/egglog_run.cpp - The egglog command-line interpreter -------------===//
+//
+// Part of egglog-cpp. Runs egglog programs from files or standard input,
+// mirroring the paper's language-first design (§5.2: "Users can write
+// egglog programs in a text format, and the tool parses, typechecks,
+// compiles, and executes them").
+//
+// Usage: egglog-run [file.egg ...]        run programs
+//        egglog-run                        read one program from stdin
+//        egglog-run --no-seminaive ...     disable semi-naive evaluation
+//        egglog-run --backoff ...          enable the BackOff scheduler
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Frontend.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace egglog;
+
+namespace {
+
+int runProgram(Frontend &F, const std::string &Source,
+               const std::string &Label) {
+  size_t OutputsBefore = F.outputs().size();
+  if (!F.execute(Source)) {
+    std::fprintf(stderr, "%s: error: %s\n", Label.c_str(),
+                 F.error().c_str());
+    return 1;
+  }
+  for (size_t I = OutputsBefore; I < F.outputs().size(); ++I)
+    std::printf("%s\n", F.outputs()[I].c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Frontend F;
+  std::vector<std::string> Files;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--no-seminaive") == 0)
+      F.runOptions().SemiNaive = false;
+    else if (std::strcmp(argv[I], "--backoff") == 0)
+      F.runOptions().UseBackoff = true;
+    else if (std::strcmp(argv[I], "--help") == 0) {
+      std::printf("usage: egglog-run [--no-seminaive] [--backoff] "
+                  "[file.egg ...]\n");
+      return 0;
+    } else {
+      Files.push_back(argv[I]);
+    }
+  }
+
+  if (Files.empty()) {
+    std::string Source(std::istreambuf_iterator<char>(std::cin.rdbuf()), {});
+    return runProgram(F, Source, "<stdin>");
+  }
+  for (const std::string &Path : Files) {
+    std::ifstream Stream(Path);
+    if (!Stream) {
+      std::fprintf(stderr, "cannot open %s\n", Path.c_str());
+      return 1;
+    }
+    std::stringstream Buffer;
+    Buffer << Stream.rdbuf();
+    if (int Status = runProgram(F, Buffer.str(), Path))
+      return Status;
+  }
+  return 0;
+}
