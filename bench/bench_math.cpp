@@ -31,6 +31,8 @@ namespace {
 struct Series {
   std::vector<size_t> ENodes;
   std::vector<double> CumulativeSeconds;
+  /// Total seconds spent in the search phase across all iterations.
+  double SearchSeconds = 0;
 };
 
 /// Runs the classic egg-style baseline.
@@ -60,6 +62,7 @@ Series runEgg(unsigned Iterations, size_t NodeLimit) {
   double Cumulative = 0;
   for (const classic::RunnerIteration &It : Report.Iterations) {
     Cumulative += It.SearchSeconds + It.ApplySeconds + It.RebuildSeconds;
+    Result.SearchSeconds += It.SearchSeconds;
     Result.ENodes.push_back(It.ENodes);
     Result.CumulativeSeconds.push_back(Cumulative);
   }
@@ -96,6 +99,8 @@ Series runEgglog(bool SemiNaive, unsigned Iterations, size_t NodeLimit) {
     Timer Step;
     RunReport Report = F.engine().run(Opts);
     Cumulative += Step.seconds();
+    for (const IterationStats &Stats : Report.Iterations)
+      Result.SearchSeconds += Stats.SearchSeconds;
     Result.ENodes.push_back(egglogENodes(F));
     Result.CumulativeSeconds.push_back(Cumulative);
     if (Report.Saturated || egglogENodes(F) > NodeLimit)
@@ -159,5 +164,20 @@ int main(int argc, char **argv) {
     std::printf("  egglog  %8.4fs  %8zu e-nodes  speedup %.2fx\n", FullT,
                 Full.ENodes[Last - 1], EggT / FullT);
   }
+
+  // Machine-readable trajectory records (one JSON object per line).
+  auto EmitJson = [](const char *Bench, const char *System,
+                     const Series &S) {
+    if (S.ENodes.empty())
+      return;
+    std::printf("{\"bench\": \"%s\", \"system\": \"%s\", \"iterations\": "
+                "%zu, \"enodes\": %zu, \"search_s\": %.6f, \"total_s\": "
+                "%.6f}\n",
+                Bench, System, S.ENodes.size(), S.ENodes.back(),
+                S.SearchSeconds, S.CumulativeSeconds.back());
+  };
+  EmitJson("math", "egg", Egg);
+  EmitJson("math", "egglogNI", NI);
+  EmitJson("math", "egglog", Full);
   return 0;
 }

@@ -41,6 +41,9 @@ int main(int argc, char **argv) {
   double SumPatched = 0, SumCClyzer = 0, SumNI = 0, SumEgglog = 0;
   size_t ComparablePrograms = 0;
   size_t Timeouts[5] = {0, 0, 0, 0, 0};
+  // Totals over every program (timeouts included at their measured cost),
+  // for the machine-readable trajectory record.
+  double EgglogTotal = 0, EgglogSearch = 0;
 
   for (const Program &P : Suite) {
     std::printf("%-22s %8zu", P.Name.c_str(), P.numInstructions());
@@ -50,6 +53,10 @@ int main(int argc, char **argv) {
       AnalysisResult Result = runPointsTo(P, Systems[S], Timeout);
       Times[S] = Result.Seconds;
       TimedOut[S] = Result.TimedOut;
+      if (Systems[S] == System::Egglog) {
+        EgglogTotal += Result.Seconds;
+        EgglogSearch += Result.SearchSeconds;
+      }
       if (Result.TimedOut) {
         ++Timeouts[S];
         std::printf(" %10s", "TIMEOUT");
@@ -83,5 +90,12 @@ int main(int argc, char **argv) {
     std::printf("  egglog vs cclyzer++ %.2fx\n", SumCClyzer / SumEgglog);
     std::printf("  egglog vs egglogNI  %.2fx\n", SumNI / SumEgglog);
   }
+
+  // Machine-readable trajectory record (one JSON object per line): the
+  // full egglog system summed over every program in the suite.
+  std::printf("{\"bench\": \"pointsto\", \"system\": \"egglog\", "
+              "\"programs\": %zu, \"timeouts\": %zu, \"search_s\": %.6f, "
+              "\"total_s\": %.6f}\n",
+              Suite.size(), Timeouts[4], EgglogSearch, EgglogTotal);
   return 0;
 }

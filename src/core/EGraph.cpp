@@ -259,6 +259,10 @@ unsigned EGraph::rebuild() {
     }
   }
   UnionsDirty = false;
+  // Bulk-drop the stamp-partition indexes made stale by the rows this
+  // rebuild rewrote; the All indexes stay for incremental refresh.
+  for (auto &InfoPtr : Functions)
+    InfoPtr->Storage->indexes().sweepStale();
   return Passes;
 }
 
@@ -386,6 +390,40 @@ size_t EGraph::liveTupleCount() const {
   for (const auto &Info : Functions)
     Total += Info->Storage->liveCount();
   return Total;
+}
+
+uint64_t EGraph::liveContentHash() const {
+  uint64_t Total = 0;
+  for (size_t F = 0; F < Functions.size(); ++F) {
+    const Table &T = *Functions[F]->Storage;
+    unsigned Width = T.rowWidth();
+    for (size_t Row : T.liveRows()) {
+      uint64_t RowHash = hashMix(F + 0x9E3779B97F4A7C15ull);
+      const Value *Cells = T.row(Row);
+      for (unsigned I = 0; I < Width; ++I)
+        RowHash = hashCombine(RowHash, Cells[I].hash());
+      // Sum keeps the accumulator order-independent across rows.
+      Total += RowHash;
+    }
+  }
+  return Total;
+}
+
+IndexCache::Stats EGraph::indexStats() const {
+  IndexCache::Stats Total;
+  for (const auto &Info : Functions) {
+    const IndexCache::Stats &S = Info->Storage->indexes().stats();
+    Total.Hits += S.Hits;
+    Total.Builds += S.Builds;
+    Total.Refreshes += S.Refreshes;
+    Total.Derivations += S.Derivations;
+  }
+  return Total;
+}
+
+void EGraph::invalidateIndexes() {
+  for (const auto &Info : Functions)
+    Info->Storage->indexes().invalidate();
 }
 
 //===----------------------------------------------------------------------===

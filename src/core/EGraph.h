@@ -16,6 +16,7 @@
 #define EGGLOG_CORE_EGRAPH_H
 
 #include "core/Ast.h"
+#include "core/Index.h"
 #include "core/Primitives.h"
 #include "core/Sorts.h"
 #include "core/Table.h"
@@ -197,6 +198,20 @@ public:
   size_t functionSize(FunctionId Func) const {
     return Functions[Func]->Storage->liveCount();
   }
+
+  /// Order-independent hash of the live content of every table (function
+  /// id, keys, output — timestamps excluded). Two databases with the same
+  /// live rows hash equally no matter how they got there, so the engine
+  /// can tell real progress from dead-row churn.
+  uint64_t liveContentHash() const;
+
+  /// Sums the index-cache counters of every table.
+  IndexCache::Stats indexStats() const;
+
+  /// Drops every cached column index (bulk invalidation). rebuild() calls
+  /// the lighter IndexCache::sweepStale() instead, preserving the All
+  /// indexes for incremental refresh.
+  void invalidateIndexes();
 
   //===--------------------------------------------------------------------===
   // Error reporting

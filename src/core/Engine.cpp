@@ -17,28 +17,55 @@ size_t Engine::addRule(Rule R) {
   return Rules.size() - 1;
 }
 
+uint64_t Engine::mutationStamp() const {
+  uint64_t Stamp = Graph.unionFind().unionCount();
+  for (size_t F = 0; F < Graph.numFunctions(); ++F)
+    Stamp += Graph.function(F).Storage->version();
+  return Stamp;
+}
+
 RunReport Engine::run(const RunOptions &Options) {
   RunReport Report;
   Timer Total;
+
+  // (Re)create the per-rule execution contexts if rules were added since
+  // the last run (Rules may have reallocated, invalidating the Query
+  // references the executors hold).
+  if (Executors.size() != Rules.size()) {
+    Executors.clear();
+    Executors.reserve(Rules.size());
+    for (const Rule &R : Rules)
+      Executors.push_back(std::make_unique<QueryExecutor>(Graph, R.Body));
+  }
 
   // Top-level unions between runs leave the database non-canonical; queries
   // require canonical form.
   if (Graph.needsRebuild())
     Graph.rebuild();
 
+  // Saturation detection compares the database's live content across an
+  // iteration: live counts (not rowCount(), which includes dead rows) and,
+  // only when the counts stall, an order-independent content hash.
+  // Dead-row churn — a kill and re-append of identical live content —
+  // cannot mask saturation, while a merge that changes an output (same
+  // live count!) still registers as progress. The hash state persists on
+  // the Engine, so it is recomputed only at candidate saturation points —
+  // at worst one extra iteration runs before saturation is declared.
+  size_t LiveBefore = Graph.liveTupleCount();
+  uint64_t UnionsBefore = Graph.unionFind().unionCount();
+  if (HasContentHash && mutationStamp() != LastMutationStamp)
+    HasContentHash = false;
+
   for (unsigned Iter = 0; Iter < Options.Iterations; ++Iter) {
     ++GlobalIteration;
     IterationStats Stats;
     Timer Phase;
 
-    // Track database size before this iteration to detect saturation.
-    size_t RowsBefore = 0;
-    for (size_t F = 0; F < Graph.numFunctions(); ++F)
-      RowsBefore += Graph.function(F).Storage->rowCount();
-    uint64_t UnionsBefore = Graph.unionFind().unionCount();
-
     //=== Search phase: collect matches for every runnable rule. ===========
-    std::vector<std::vector<std::vector<Value>>> AllMatches(Rules.size());
+    // Matches are collected per rule into a flat arena (NumVars values per
+    // match) rather than one heap vector per match.
+    std::vector<std::vector<Value>> AllMatches(Rules.size());
+    std::vector<size_t> MatchCounts(Rules.size(), 0);
     bool AnyBanned = false;
     for (size_t R = 0; R < Rules.size(); ++R) {
       RuleState &State = States[R];
@@ -48,10 +75,8 @@ RunReport Engine::run(const RunOptions &Options) {
       }
       const Rule &TheRule = Rules[R];
       const Query &Body = TheRule.Body;
-      std::vector<std::vector<Value>> &Matches = AllMatches[R];
-      auto Collect = [&Matches](const std::vector<Value> &Env) {
-        Matches.push_back(Env);
-      };
+      std::vector<Value> &Matches = AllMatches[R];
+      size_t &Count = MatchCounts[R];
 
       // BackOff threshold: collection aborts as soon as a rule exceeds it
       // (the matches would be dropped anyway, and collecting them all can
@@ -65,25 +90,18 @@ RunReport Engine::run(const RunOptions &Options) {
                Total.seconds() > Options.TimeoutSeconds;
       };
       std::function<bool()> Cancel = [&] {
-        return TimedOutNow() || Matches.size() > Threshold;
+        return TimedOutNow() || Count > Threshold;
       };
-      size_t NumAtoms = Body.Atoms.size();
-      bool Incremental =
-          Options.SemiNaive && State.DeltaStart > 0 && NumAtoms > 0;
+      bool Incremental = Options.SemiNaive && State.DeltaStart > 0 &&
+                         !Body.Atoms.empty();
       if (!Incremental) {
-        executeQuery(Graph, Body, {}, 0, Collect, Options.GenericJoin,
-                     &Cancel);
+        Executors[R]->executeCollect({}, 0, Matches, Count,
+                                     Options.GenericJoin, &Cancel);
       } else {
-        // Expand into one delta rule per atom: atom j restricted to New,
-        // atoms before j to Old, atoms after j unrestricted (§4.3).
-        std::vector<AtomFilter> Filters(NumAtoms, AtomFilter::All);
-        for (size_t J = 0; J < NumAtoms && !Cancel(); ++J) {
-          for (size_t K = 0; K < NumAtoms; ++K)
-            Filters[K] = K < J ? AtomFilter::Old
-                               : (K == J ? AtomFilter::New : AtomFilter::All);
-          executeQuery(Graph, Body, Filters, State.DeltaStart, Collect,
-                       Options.GenericJoin, &Cancel);
-        }
+        // One delta variant per atom (§4.3), all sharing the rule's
+        // persistent execution context and the cached table indexes.
+        Executors[R]->executeDeltaCollect(State.DeltaStart, Matches, Count,
+                                          Options.GenericJoin, &Cancel);
       }
       if (TimedOutNow()) {
         Report.TimedOut = true;
@@ -95,26 +113,31 @@ RunReport Engine::run(const RunOptions &Options) {
       // BackOff scheduling: drop matches and ban the rule if it exceeded
       // its (exponentially growing) threshold. The rule's DeltaStart is
       // left untouched so the dropped work is re-derived after the ban.
-      if (Matches.size() > Threshold) {
+      if (Count > Threshold) {
         uint64_t BanSpan = Options.BackoffBanLength << State.TimesBanned;
         State.BannedUntil = GlobalIteration + BanSpan;
         ++State.TimesBanned;
         AnyBanned = true;
+        Count = 0;
         Matches.clear();
         Matches.shrink_to_fit();
         continue;
       }
       State.DeltaStart = Graph.timestamp() + 1;
-      Stats.Matches += Matches.size();
+      Stats.Matches += Count;
     }
     Stats.SearchSeconds = Phase.seconds();
 
     //=== Apply phase: run the actions of all collected matches. ===========
     Phase.reset();
     Graph.bumpTimestamp();
+    std::vector<Value> Env;
     for (size_t R = 0; R < Rules.size(); ++R) {
       const Rule &TheRule = Rules[R];
-      for (std::vector<Value> &Env : AllMatches[R]) {
+      size_t Stride = TheRule.Body.NumVars;
+      for (size_t M = 0; M < MatchCounts[R]; ++M) {
+        const Value *Match = AllMatches[R].data() + M * Stride;
+        Env.assign(Match, Match + Stride);
         Env.resize(TheRule.NumSlots);
         if (!Graph.runActions(TheRule.Actions, Env)) {
           if (Graph.failed()) {
@@ -144,11 +167,21 @@ RunReport Engine::run(const RunOptions &Options) {
     Stats.UnionsAfter = Graph.unionFind().unionCount();
     Report.Iterations.push_back(Stats);
 
-    size_t RowsAfter = 0;
-    for (size_t F = 0; F < Graph.numFunctions(); ++F)
-      RowsAfter += Graph.function(F).Storage->rowCount();
-    bool Changed = RowsAfter != RowsBefore ||
-                   Graph.unionFind().unionCount() != UnionsBefore;
+    bool Changed = Stats.TuplesAfter != LiveBefore ||
+                   Stats.UnionsAfter != UnionsBefore;
+    if (!Changed && !AnyBanned) {
+      // Only a potential saturation point (no banned rules pending) needs
+      // the content-hash tiebreak. Matching a previously hashed state
+      // means the engine revisited it — a fixpoint or a churn cycle —
+      // so stopping is sound either way.
+      uint64_t ContentAfter = Graph.liveContentHash();
+      Changed = !HasContentHash || ContentAfter != LastContentHash;
+      LastContentHash = ContentAfter;
+      LastMutationStamp = mutationStamp();
+      HasContentHash = true;
+    }
+    LiveBefore = Stats.TuplesAfter;
+    UnionsBefore = Stats.UnionsAfter;
 
     if (!Changed && !AnyBanned) {
       Report.Saturated = true;

@@ -19,7 +19,9 @@
 
 #include "core/Ast.h"
 #include "core/EGraph.h"
+#include "core/Query.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -102,8 +104,21 @@ private:
   EGraph &Graph;
   std::vector<Rule> Rules;
   std::vector<RuleState> States;
+  /// One persistent execution context per rule, so join scratch and atom
+  /// shapes survive across delta variants and iterations. Rebuilt by run()
+  /// whenever rules were added (Rules may have reallocated).
+  std::vector<std::unique_ptr<QueryExecutor>> Executors;
   /// Global iteration counter across run() calls (drives ban spans).
   uint64_t GlobalIteration = 0;
+  /// Live-content hash at the last candidate saturation point (see
+  /// Engine.cpp); computed lazily, only when live counts stall. The
+  /// mutation stamp records which database state it was taken of, so
+  /// changes made outside the engine between run() calls invalidate it.
+  uint64_t LastContentHash = 0;
+  uint64_t LastMutationStamp = 0;
+  bool HasContentHash = false;
+
+  uint64_t mutationStamp() const;
 };
 
 } // namespace egglog

@@ -81,9 +81,7 @@ CostMap computeCosts(EGraph &Graph) {
         continue;
       const Table &T = *Info.Storage;
       unsigned NumKeys = Info.numKeys();
-      for (size_t Row = 0; Row < T.rowCount(); ++Row) {
-        if (!T.isLive(Row))
-          continue;
+      for (size_t Row : T.liveRows()) {
         const Value *Cells = T.row(Row);
         int64_t Total = Info.Decl.Cost;
         for (unsigned I = 0; I < NumKeys && Total != Infinity; ++I)
@@ -155,9 +153,7 @@ std::vector<ExtractedTerm> egglog::extractVariants(EGraph &Graph, Value V,
       continue;
     const Table &T = *Info.Storage;
     unsigned NumKeys = Info.numKeys();
-    for (size_t Row = 0; Row < T.rowCount(); ++Row) {
-      if (!T.isLive(Row))
-        continue;
+    for (size_t Row : T.liveRows()) {
       const Value *Cells = T.row(Row);
       if (Graph.canonicalize(Cells[NumKeys]) != Canonical)
         continue;

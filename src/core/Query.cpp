@@ -13,18 +13,31 @@ using namespace egglog;
 
 namespace {
 
-/// Execution state for one atom: its filtered candidate rows sorted by the
-/// global variable order, and the currently narrowed range.
+/// One join column of an atom: a query variable and every term position
+/// holding it (the first occurrence, then repeats). All positions must
+/// carry the same value in a matching row; the join narrows on each in
+/// turn.
+struct AtomCol {
+  uint32_t Var = 0;
+  std::vector<unsigned> Positions;
+};
+
+/// Execution state for one atom: a shared cached column index (sorted by
+/// constants first, then the query's global variable order), and the
+/// currently narrowed range within it. The shape (Cols, Consts positions)
+/// is precomputed once per query; only the range and the index pointer
+/// change between executions.
 struct AtomExec {
   const QueryAtom *Atom = nullptr;
-  /// Filtered candidate rows (pointers into the table's cells; stable
-  /// because queries never mutate tables).
-  std::vector<const Value *> Rows;
-  /// The atom's distinct variables as (variable, term index) pairs, sorted
-  /// by the global variable order. Only the first occurrence of a repeated
-  /// variable is listed; consistency of repeats is enforced when rows are
-  /// materialized.
-  std::vector<std::pair<uint32_t, unsigned>> Cols;
+  /// Candidate rows, borrowed from the table's IndexCache. Stable because
+  /// queries never mutate tables.
+  const std::vector<const Value *> *Rows = nullptr;
+  /// The atom's distinct variables, re-sorted to global variable order at
+  /// the start of every execution.
+  std::vector<AtomCol> Cols;
+  /// Constant term positions in term order (the leading columns of the
+  /// index permutation); values are re-canonicalized per execution.
+  std::vector<std::pair<unsigned, Value>> Consts;
   size_t Lo = 0, Hi = 0;
   /// Number of leading columns already bound at the current depth.
   unsigned Depth = 0;
@@ -37,44 +50,106 @@ struct TrailEntry {
   uint32_t Index;
 };
 
-/// The generic-join interpreter.
-class Joiner {
-public:
-  Joiner(EGraph &Graph, const Query &Q, const MatchCallback &Callback,
-         const std::function<bool()> *Cancel)
-      : Graph(Graph), Q(Q), Callback(Callback), Cancel(Cancel) {}
+/// Stable insertion sort for the tiny arrays the planner reorders per
+/// execution (atom columns, the variable order). std::stable_sort
+/// heap-allocates a temporary buffer even for a handful of elements, which
+/// would dominate these call sites.
+template <typename Iter, typename Less>
+void insertionSort(Iter First, Iter Last, Less Cmp) {
+  for (Iter I = First; I != Last; ++I)
+    for (Iter J = I; J != First && Cmp(*J, *(J - 1)); --J)
+      std::iter_swap(J, J - 1);
+}
 
-  void run(const std::vector<AtomFilter> &Filters, uint32_t DeltaBound) {
-    if (!materialize(Filters, DeltaBound))
-      return;
-    chooseVariableOrder();
-    sortAtoms();
-    Env.assign(Q.NumVars, Value());
-    BoundFlags.assign(Q.NumVars, false);
-    PrimDone.assign(Q.Prims.size(), false);
-    // Bind nothing yet, but primitives with no variable inputs can run
-    // immediately (e.g. constant filters).
-    if (!runReadyPrims())
-      return;
-    joinLevel(0);
+} // namespace
+
+/// The generic-join interpreter. One instance per query, reusable across
+/// executions: all buffers persist, so a rule's semi-naïve delta variants
+/// and repeated engine iterations run allocation-free after warm-up.
+struct egglog::QueryExecutor::Impl {
+  Impl(EGraph &Graph, const Query &Q) : Graph(Graph), Q(Q) {
+    // Precompute each atom's shape: join columns (with repeated variable
+    // occurrences folded into one column) and constant positions.
+    Atoms.reserve(Q.Atoms.size());
+    std::vector<bool> SeenVar;
+    std::vector<size_t> ColOf;
+    for (const QueryAtom &Atom : Q.Atoms) {
+      AtomExec Exec;
+      Exec.Atom = &Atom;
+      SeenVar.assign(Q.NumVars, false);
+      ColOf.resize(Q.NumVars);
+      for (unsigned I = 0; I < Atom.Terms.size(); ++I) {
+        const VarOrConst &Term = Atom.Terms[I];
+        if (!Term.IsVar) {
+          Exec.Consts.emplace_back(I, Term.Const);
+          continue;
+        }
+        if (SeenVar[Term.Var]) {
+          Exec.Cols[ColOf[Term.Var]].Positions.push_back(I);
+        } else {
+          SeenVar[Term.Var] = true;
+          ColOf[Term.Var] = Exec.Cols.size();
+          Exec.Cols.push_back(AtomCol{Term.Var, {I}});
+        }
+      }
+      Atoms.push_back(std::move(Exec));
+    }
   }
 
-  void runNaive(const std::vector<AtomFilter> &Filters, uint32_t DeltaBound) {
-    if (!materialize(Filters, DeltaBound))
-      return;
-    Env.assign(Q.NumVars, Value());
-    BoundFlags.assign(Q.NumVars, false);
-    PrimDone.assign(Q.Prims.size(), false);
-    if (!runReadyPrims())
-      return;
-    naiveLevel(0);
+  void execute(const std::vector<AtomFilter> &Filters, uint32_t DeltaBound,
+               bool UseGenericJoin, const std::function<bool()> *TheCancel) {
+    Cancel = TheCancel;
+    StepCount = 0;
+    Cancelled = false;
+    if (UseGenericJoin)
+      run(Filters, DeltaBound);
+    else
+      runNaive(Filters, DeltaBound);
+    Callback = nullptr;
+    CollectArena = nullptr;
+    CollectCount = nullptr;
+    Cancel = nullptr;
   }
+
+  void executeDelta(uint32_t DeltaBound, bool UseGenericJoin,
+                    const std::function<bool()> *TheCancel) {
+    size_t NumAtoms = Q.Atoms.size();
+    // emitMatch targets survive across variants; execute() clears them, so
+    // re-arm per variant from the saved values.
+    const MatchCallback *TheCallback = Callback;
+    std::vector<Value> *Arena = CollectArena;
+    size_t *Count = CollectCount;
+    DeltaFilters.assign(NumAtoms, AtomFilter::All);
+    for (size_t Delta = 0; Delta < NumAtoms; ++Delta) {
+      if (TheCancel && (*TheCancel)())
+        break;
+      for (size_t K = 0; K < NumAtoms; ++K)
+        DeltaFilters[K] = K < Delta ? AtomFilter::Old
+                                    : (K == Delta ? AtomFilter::New
+                                                  : AtomFilter::All);
+      Callback = TheCallback;
+      CollectArena = Arena;
+      CollectCount = Count;
+      execute(DeltaFilters, DeltaBound, UseGenericJoin, TheCancel);
+    }
+    // Every exit path (including zero atoms or an immediate cancel) must
+    // disarm the sinks; a later call would otherwise write through a
+    // dangling arena pointer.
+    Callback = nullptr;
+    CollectArena = nullptr;
+    CollectCount = nullptr;
+  }
+
+  /// Match sinks: either a callback or a flat arena (plus match counter).
+  /// Exactly one is armed by the QueryExecutor entry points.
+  const MatchCallback *Callback = nullptr;
+  std::vector<Value> *CollectArena = nullptr;
+  size_t *CollectCount = nullptr;
 
 private:
   EGraph &Graph;
   const Query &Q;
-  const MatchCallback &Callback;
-  const std::function<bool()> *Cancel;
+  const std::function<bool()> *Cancel = nullptr;
   uint64_t StepCount = 0;
   bool Cancelled = false;
 
@@ -92,126 +167,145 @@ private:
   std::vector<Value> Env;
   std::vector<bool> BoundFlags;
   std::vector<bool> PrimDone;
+  /// Primitives not yet executed; lets the hot paths skip the prim scan.
+  size_t PendingPrims = 0;
   std::vector<TrailEntry> Trail;
 
-  /// Builds each atom's candidate row list. Returns false if any atom has
-  /// no candidates (query is empty).
+  // Scratch reused across executions to keep the steady state
+  // allocation-free.
+  std::vector<AtomFilter> DeltaFilters;
+  std::vector<size_t> AtomSizes;
+  std::vector<unsigned> VarPosition;
+  std::vector<unsigned> Perm;
+  std::vector<Value> PrimArgs;
+  struct SavedRange {
+    size_t Lo, Hi;
+    unsigned Depth;
+  };
+  struct LevelScratch {
+    std::vector<size_t> Participants;
+    std::vector<SavedRange> Saved;
+  };
+  std::vector<LevelScratch> Levels;
+
+  void run(const std::vector<AtomFilter> &Filters, uint32_t DeltaBound) {
+    if (!materialize(Filters, DeltaBound))
+      return;
+    Env.assign(Q.NumVars, Value());
+    BoundFlags.assign(Q.NumVars, false);
+    PrimDone.assign(Q.Prims.size(), false);
+    PendingPrims = Q.Prims.size();
+    Trail.clear();
+    Levels.resize(VarOrder.size());
+    // Bind nothing yet, but primitives with no variable inputs can run
+    // immediately (e.g. constant filters).
+    if (!runReadyPrims())
+      return;
+    joinLevel(0);
+  }
+
+  void runNaive(const std::vector<AtomFilter> &Filters, uint32_t DeltaBound) {
+    if (!materialize(Filters, DeltaBound))
+      return;
+    Env.assign(Q.NumVars, Value());
+    BoundFlags.assign(Q.NumVars, false);
+    PrimDone.assign(Q.Prims.size(), false);
+    PendingPrims = Q.Prims.size();
+    Trail.clear();
+    if (!runReadyPrims())
+      return;
+    naiveLevel(0);
+  }
+
+  /// Resolves each atom to a cached column index, narrowed to its constant
+  /// terms. Returns false if any atom has no candidates (query is empty).
+  ///
+  /// Unlike the pre-index engine, this never scans or sorts table rows
+  /// itself: the table's IndexCache supplies the sorted candidate list,
+  /// shared across delta variants, rules, and iterations. Constants are
+  /// resolved with binary searches over the index's leading columns, and
+  /// repeated-variable consistency is enforced by narrowing every
+  /// occurrence during the join.
   bool materialize(const std::vector<AtomFilter> &Filters,
                    uint32_t DeltaBound) {
-    Atoms.clear();
-    Atoms.reserve(Q.Atoms.size());
-    for (size_t AtomIndex = 0; AtomIndex < Q.Atoms.size(); ++AtomIndex) {
-      const QueryAtom &Atom = Q.Atoms[AtomIndex];
+    // Cheap pre-pass: bail before doing any work if some atom's stamp
+    // partition is empty (the common case for semi-naïve delta variants
+    // once the database approaches saturation).
+    AtomSizes.resize(Atoms.size());
+    for (size_t AtomIndex = 0; AtomIndex < Atoms.size(); ++AtomIndex) {
       AtomFilter Filter =
           Filters.empty() ? AtomFilter::All : Filters[AtomIndex];
-      AtomExec Exec;
-      Exec.Atom = &Atom;
-
-      // Canonicalize the constants once.
-      std::vector<std::pair<unsigned, Value>> Consts;
-      std::vector<std::pair<unsigned, unsigned>> Repeats;
-      std::vector<bool> SeenVar;
-      std::vector<unsigned> FirstPos;
-      for (unsigned I = 0; I < Atom.Terms.size(); ++I) {
-        const VarOrConst &Term = Atom.Terms[I];
-        if (!Term.IsVar) {
-          Consts.emplace_back(I, Graph.canonicalize(Term.Const));
-          continue;
-        }
-        if (Term.Var >= SeenVar.size()) {
-          SeenVar.resize(Term.Var + 1, false);
-          FirstPos.resize(Term.Var + 1, 0);
-        }
-        if (SeenVar[Term.Var]) {
-          Repeats.emplace_back(FirstPos[Term.Var], I);
-        } else {
-          SeenVar[Term.Var] = true;
-          FirstPos[Term.Var] = I;
-          Exec.Cols.emplace_back(Term.Var, I);
-        }
+      const Table &T =
+          *Graph.function(Atoms[AtomIndex].Atom->Func).Storage;
+      size_t Size = T.liveCount();
+      if (Filter != AtomFilter::All) {
+        auto [Old, New] = T.indexes().partitionCounts(DeltaBound);
+        Size = Filter == AtomFilter::Old ? Old : New;
       }
-
-      const Table &T = *Graph.function(Atom.Func).Storage;
-      size_t Count = T.rowCount();
-      for (size_t Row = 0; Row < Count; ++Row) {
-        if (!T.isLive(Row))
-          continue;
-        uint32_t Stamp = T.stamp(Row);
-        if (Filter == AtomFilter::Old && Stamp >= DeltaBound)
-          continue;
-        if (Filter == AtomFilter::New && Stamp < DeltaBound)
-          continue;
-        const Value *Cells = T.row(Row);
-        bool Match = true;
-        for (const auto &[Pos, Const] : Consts) {
-          if (Cells[Pos] != Const) {
-            Match = false;
-            break;
-          }
-        }
-        if (Match) {
-          for (const auto &[First, Later] : Repeats) {
-            if (Cells[First] != Cells[Later]) {
-              Match = false;
-              break;
-            }
-          }
-        }
-        if (Match)
-          Exec.Rows.push_back(Cells);
-      }
-      if (Exec.Rows.empty())
+      if (Size == 0)
         return false;
+      AtomSizes[AtomIndex] = Size;
+    }
+
+    chooseVariableOrder(AtomSizes);
+
+    // Fetch each atom's index for the chosen permutation and narrow it to
+    // the (re-canonicalized) constants.
+    VarPosition.assign(Q.NumVars, 0);
+    for (unsigned I = 0; I < VarOrder.size(); ++I)
+      VarPosition[VarOrder[I]] = I;
+    for (size_t AtomIndex = 0; AtomIndex < Atoms.size(); ++AtomIndex) {
+      AtomExec &Exec = Atoms[AtomIndex];
+      AtomFilter Filter =
+          Filters.empty() ? AtomFilter::All : Filters[AtomIndex];
+      insertionSort(Exec.Cols.begin(), Exec.Cols.end(),
+                    [&](const AtomCol &A, const AtomCol &B) {
+                      return VarPosition[A.Var] < VarPosition[B.Var];
+                    });
+      Perm.clear();
+      for (auto &[Pos, Const] : Exec.Consts) {
+        Const = Graph.canonicalize(Exec.Atom->Terms[Pos].Const);
+        Perm.push_back(Pos);
+      }
+      for (const AtomCol &Col : Exec.Cols)
+        for (unsigned Pos : Col.Positions)
+          Perm.push_back(Pos);
+
+      const Table &T = *Graph.function(Exec.Atom->Func).Storage;
+      const ColumnIndex &Index = T.indexes().get(Perm, Filter, DeltaBound);
+      Exec.Rows = &Index.rows();
       Exec.Lo = 0;
-      Exec.Hi = Exec.Rows.size();
-      Atoms.push_back(std::move(Exec));
+      Exec.Hi = Index.size();
+      Exec.Depth = 0;
+      for (const auto &[Pos, Const] : Exec.Consts)
+        if (!narrowOn(Exec, Pos, Const))
+          return false;
     }
     return true;
   }
 
   /// Greedy variable ordering: most-constrained (highest atom occurrence)
   /// first, breaking ties toward variables whose atoms are small.
-  void chooseVariableOrder() {
+  void chooseVariableOrder(const std::vector<size_t> &Sizes) {
     std::vector<unsigned> Occurrences(Q.NumVars, 0);
     std::vector<size_t> MinAtomSize(Q.NumVars, SIZE_MAX);
-    for (const AtomExec &Exec : Atoms) {
-      for (const auto &[Var, Pos] : Exec.Cols) {
-        ++Occurrences[Var];
-        MinAtomSize[Var] = std::min(MinAtomSize[Var], Exec.Rows.size());
+    for (size_t AtomIndex = 0; AtomIndex < Atoms.size(); ++AtomIndex) {
+      for (const AtomCol &Col : Atoms[AtomIndex].Cols) {
+        ++Occurrences[Col.Var];
+        MinAtomSize[Col.Var] =
+            std::min(MinAtomSize[Col.Var], Sizes[AtomIndex]);
       }
     }
     VarOrder.clear();
     for (uint32_t Var = 0; Var < Q.NumVars; ++Var)
       if (Occurrences[Var] > 0)
         VarOrder.push_back(Var);
-    std::stable_sort(VarOrder.begin(), VarOrder.end(),
-                     [&](uint32_t A, uint32_t B) {
-                       if (Occurrences[A] != Occurrences[B])
-                         return Occurrences[A] > Occurrences[B];
-                       return MinAtomSize[A] < MinAtomSize[B];
-                     });
-    // Re-sort each atom's columns by the chosen order.
-    std::vector<unsigned> Position(Q.NumVars, 0);
-    for (unsigned I = 0; I < VarOrder.size(); ++I)
-      Position[VarOrder[I]] = I;
-    for (AtomExec &Exec : Atoms)
-      std::stable_sort(Exec.Cols.begin(), Exec.Cols.end(),
-                       [&](const auto &A, const auto &B) {
-                         return Position[A.first] < Position[B.first];
-                       });
-  }
-
-  void sortAtoms() {
-    for (AtomExec &Exec : Atoms) {
-      std::sort(Exec.Rows.begin(), Exec.Rows.end(),
-                [&](const Value *A, const Value *B) {
-                  for (const auto &[Var, Pos] : Exec.Cols) {
-                    if (A[Pos] != B[Pos])
-                      return A[Pos] < B[Pos];
-                  }
-                  return false;
-                });
-    }
+    insertionSort(VarOrder.begin(), VarOrder.end(),
+                  [&](uint32_t A, uint32_t B) {
+                    if (Occurrences[A] != Occurrences[B])
+                      return Occurrences[A] > Occurrences[B];
+                    return MinAtomSize[A] < MinAtomSize[B];
+                  });
   }
 
   size_t trailMark() const { return Trail.size(); }
@@ -220,10 +314,12 @@ private:
     while (Trail.size() > Mark) {
       TrailEntry Entry = Trail.back();
       Trail.pop_back();
-      if (Entry.IsVar)
+      if (Entry.IsVar) {
         BoundFlags[Entry.Index] = false;
-      else
+      } else {
         PrimDone[Entry.Index] = false;
+        ++PendingPrims;
+      }
     }
   }
 
@@ -247,6 +343,8 @@ private:
   /// Runs every primitive whose inputs are available; returns false if any
   /// fails or contradicts an existing binding.
   bool runReadyPrims() {
+    if (PendingPrims == 0)
+      return true;
     bool Progress = true;
     while (Progress) {
       Progress = false;
@@ -263,11 +361,12 @@ private:
         }
         if (!Ready)
           continue;
-        std::vector<Value> Args(P.Args.size());
+        PrimArgs.resize(P.Args.size());
         for (size_t J = 0; J < P.Args.size(); ++J)
-          Args[J] = termValue(P.Args[J]);
+          PrimArgs[J] = termValue(P.Args[J]);
         Value Result;
-        if (!Graph.primitives().get(P.Prim).Apply(Graph, Args.data(), Result))
+        if (!Graph.primitives().get(P.Prim).Apply(Graph, PrimArgs.data(),
+                                                  Result))
           return false;
         if (P.Out.IsVar) {
           if (!bindVar(P.Out.Var, Result))
@@ -276,20 +375,23 @@ private:
           return false;
         }
         PrimDone[I] = true;
+        --PendingPrims;
         Trail.push_back(TrailEntry{false, static_cast<uint32_t>(I)});
+        if (PendingPrims == 0)
+          return true;
         Progress = true;
       }
     }
     return true;
   }
 
-  /// Narrows atom \p Exec (whose next column must be bound to \p V) to the
-  /// equal range for \p V; returns false if empty. Saves nothing; caller
-  /// snapshots ranges.
-  bool narrowTo(AtomExec &Exec, Value V) {
-    unsigned Pos = Exec.Cols[Exec.Depth].second;
-    auto Begin = Exec.Rows.begin() + Exec.Lo;
-    auto End = Exec.Rows.begin() + Exec.Hi;
+  /// Narrows atom \p Exec to the rows whose term at \p Pos equals \p V,
+  /// assuming the current range is sorted by that position (it is the next
+  /// column of the index permutation); returns false if empty. Saves
+  /// nothing; caller snapshots ranges.
+  bool narrowOn(AtomExec &Exec, unsigned Pos, Value V) {
+    auto Begin = Exec.Rows->begin() + Exec.Lo;
+    auto End = Exec.Rows->begin() + Exec.Hi;
     auto Range = std::equal_range(
         Begin, End, V,
         [Pos](const auto &A, const auto &B) {
@@ -300,8 +402,17 @@ private:
         });
     if (Range.first == Range.second)
       return false;
-    Exec.Lo = Range.first - Exec.Rows.begin();
-    Exec.Hi = Range.second - Exec.Rows.begin();
+    Exec.Lo = Range.first - Exec.Rows->begin();
+    Exec.Hi = Range.second - Exec.Rows->begin();
+    return true;
+  }
+
+  /// Narrows atom \p Exec (whose next column must be bound to \p V) to the
+  /// rows where every occurrence of that column's variable equals \p V.
+  bool narrowTo(AtomExec &Exec, Value V) {
+    for (unsigned Pos : Exec.Cols[Exec.Depth].Positions)
+      if (!narrowOn(Exec, Pos, V))
+        return false;
     ++Exec.Depth;
     return true;
   }
@@ -311,12 +422,15 @@ private:
     // outputs feed nothing else may still be pending).
     size_t Mark = trailMark();
     if (runReadyPrims()) {
-      bool AllDone = true;
-      for (size_t I = 0; I < Q.Prims.size(); ++I)
-        AllDone &= static_cast<bool>(PrimDone[I]);
-      assert(AllDone && "primitive left unexecuted; typechecker should have "
-                        "rejected this query");
-      Callback(Env);
+      assert(PendingPrims == 0 &&
+             "primitive left unexecuted; typechecker should have "
+             "rejected this query");
+      if (CollectArena) {
+        CollectArena->insert(CollectArena->end(), Env.begin(), Env.end());
+        ++*CollectCount;
+      } else {
+        (*Callback)(Env);
+      }
     }
     trailUndo(Mark);
   }
@@ -330,24 +444,23 @@ private:
     }
     uint32_t Var = VarOrder[Level];
 
-    // Participants: atoms whose next unbound column is Var.
-    std::vector<size_t> Participants;
+    // Participants: atoms whose next unbound column is Var. The scratch is
+    // per level, so the recursion into Level + 1 cannot clobber it.
+    std::vector<size_t> &Participants = Levels[Level].Participants;
+    Participants.clear();
     for (size_t I = 0; I < Atoms.size(); ++I) {
       AtomExec &Exec = Atoms[I];
-      if (Exec.Depth < Exec.Cols.size() && Exec.Cols[Exec.Depth].first == Var)
+      if (Exec.Depth < Exec.Cols.size() && Exec.Cols[Exec.Depth].Var == Var)
         Participants.push_back(I);
     }
 
     // Snapshot the participant ranges for backtracking.
-    struct Saved {
-      size_t Lo, Hi;
-      unsigned Depth;
-    };
-    std::vector<Saved> SavedRanges(Participants.size());
+    std::vector<SavedRange> &SavedRanges = Levels[Level].Saved;
+    SavedRanges.resize(Participants.size());
     auto Snapshot = [&]() {
       for (size_t I = 0; I < Participants.size(); ++I) {
         AtomExec &Exec = Atoms[Participants[I]];
-        SavedRanges[I] = Saved{Exec.Lo, Exec.Hi, Exec.Depth};
+        SavedRanges[I] = SavedRange{Exec.Lo, Exec.Hi, Exec.Depth};
       }
     };
     auto Restore = [&]() {
@@ -384,15 +497,16 @@ private:
           Atoms[Driver].Hi - Atoms[Driver].Lo)
         Driver = Index;
     AtomExec &DriverExec = Atoms[Driver];
-    unsigned DriverPos = DriverExec.Cols[DriverExec.Depth].second;
+    const std::vector<const Value *> &DriverRows = *DriverExec.Rows;
+    unsigned DriverPos = DriverExec.Cols[DriverExec.Depth].Positions[0];
 
     size_t GroupStart = DriverExec.Lo;
     size_t DriverHi = DriverExec.Hi;
     while (GroupStart < DriverHi) {
-      Value Candidate = DriverExec.Rows[GroupStart][DriverPos];
+      Value Candidate = DriverRows[GroupStart][DriverPos];
       size_t GroupEnd = GroupStart + 1;
       while (GroupEnd < DriverHi &&
-             DriverExec.Rows[GroupEnd][DriverPos] == Candidate)
+             DriverRows[GroupEnd][DriverPos] == Candidate)
         ++GroupEnd;
 
       Snapshot();
@@ -400,9 +514,16 @@ private:
       bool Alive = true;
       for (size_t Index : Participants) {
         if (Index == Driver) {
+          // The group already fixes the first occurrence; narrow any
+          // repeated occurrences of the variable to the same value.
           AtomExec &Exec = Atoms[Index];
           Exec.Lo = GroupStart;
           Exec.Hi = GroupEnd;
+          const AtomCol &Col = Exec.Cols[Exec.Depth];
+          for (size_t P = 1; Alive && P < Col.Positions.size(); ++P)
+            Alive = narrowOn(Exec, Col.Positions[P], Candidate);
+          if (!Alive)
+            break;
           ++Exec.Depth;
           continue;
         }
@@ -430,14 +551,21 @@ private:
       return;
     }
     AtomExec &Exec = Atoms[AtomIndex];
-    for (const Value *Row : Exec.Rows) {
+    for (size_t R = Exec.Lo; R < Exec.Hi; ++R) {
+      const Value *Row = (*Exec.Rows)[R];
       size_t Mark = trailMark();
       bool Alive = true;
-      for (const auto &[Var, Pos] : Exec.Cols) {
-        if (!bindVar(Var, Row[Pos])) {
-          Alive = false;
-          break;
+      for (const AtomCol &Col : Exec.Cols) {
+        // Binding every occurrence both binds the variable and rejects
+        // rows whose repeated occurrences disagree.
+        for (unsigned Pos : Col.Positions) {
+          if (!bindVar(Col.Var, Row[Pos])) {
+            Alive = false;
+            break;
+          }
         }
+        if (!Alive)
+          break;
       }
       if (Alive && runReadyPrims())
         naiveLevel(AtomIndex + 1);
@@ -446,16 +574,63 @@ private:
   }
 };
 
-} // namespace
+QueryExecutor::QueryExecutor(EGraph &Graph, const Query &Q)
+    : I(std::make_unique<Impl>(Graph, Q)) {}
+
+QueryExecutor::~QueryExecutor() = default;
+QueryExecutor::QueryExecutor(QueryExecutor &&) noexcept = default;
+QueryExecutor &QueryExecutor::operator=(QueryExecutor &&) noexcept = default;
+
+void QueryExecutor::execute(const std::vector<AtomFilter> &Filters,
+                            uint32_t DeltaBound,
+                            const MatchCallback &Callback,
+                            bool UseGenericJoin,
+                            const std::function<bool()> *Cancel) {
+  I->Callback = &Callback;
+  I->execute(Filters, DeltaBound, UseGenericJoin, Cancel);
+}
+
+void QueryExecutor::executeDelta(uint32_t DeltaBound,
+                                 const MatchCallback &Callback,
+                                 bool UseGenericJoin,
+                                 const std::function<bool()> *Cancel) {
+  I->Callback = &Callback;
+  I->executeDelta(DeltaBound, UseGenericJoin, Cancel);
+}
+
+void QueryExecutor::executeCollect(const std::vector<AtomFilter> &Filters,
+                                   uint32_t DeltaBound,
+                                   std::vector<Value> &Arena, size_t &Count,
+                                   bool UseGenericJoin,
+                                   const std::function<bool()> *Cancel) {
+  I->CollectArena = &Arena;
+  I->CollectCount = &Count;
+  I->execute(Filters, DeltaBound, UseGenericJoin, Cancel);
+}
+
+void QueryExecutor::executeDeltaCollect(uint32_t DeltaBound,
+                                        std::vector<Value> &Arena,
+                                        size_t &Count, bool UseGenericJoin,
+                                        const std::function<bool()> *Cancel) {
+  I->CollectArena = &Arena;
+  I->CollectCount = &Count;
+  I->executeDelta(DeltaBound, UseGenericJoin, Cancel);
+}
 
 void egglog::executeQuery(EGraph &Graph, const Query &Q,
                           const std::vector<AtomFilter> &Filters,
                           uint32_t DeltaBound, const MatchCallback &Callback,
                           bool UseGenericJoin,
                           const std::function<bool()> *Cancel) {
-  Joiner J(Graph, Q, Callback, Cancel);
-  if (UseGenericJoin)
-    J.run(Filters, DeltaBound);
-  else
-    J.runNaive(Filters, DeltaBound);
+  QueryExecutor(Graph, Q).execute(Filters, DeltaBound, Callback,
+                                  UseGenericJoin, Cancel);
+}
+
+void egglog::executeQueryDelta(EGraph &Graph, const Query &Q,
+                               uint32_t DeltaBound,
+                               const MatchCallback &Callback,
+                               bool UseGenericJoin,
+                               const std::function<bool()> *Cancel) {
+  QueryExecutor(Graph, Q).executeDelta(DeltaBound, Callback, UseGenericJoin,
+                                       Cancel);
 }

@@ -7,10 +7,11 @@
 /// \file
 /// Executes flattened conjunctive queries against the database with a
 /// sort-based worst-case-optimal generic join (§5.1 "Query Engine", after
-/// relational e-matching and Ngo et al. 2018). Each atom's candidate rows
-/// are sorted by the query's global variable order, and variables are bound
-/// one at a time by intersecting the atoms that contain them. Primitive
-/// computations run as soon as their inputs are bound, pruning eagerly.
+/// relational e-matching and Ngo et al. 2018). Each atom resolves to a
+/// cached column index (see Index.h) sorted by the query's global variable
+/// order, and variables are bound one at a time by intersecting the atoms
+/// that contain them. Primitive computations run as soon as their inputs
+/// are bound, pruning eagerly.
 ///
 /// For semi-naïve evaluation (§4.3), a query can be executed with one atom
 /// restricted to the delta (rows stamped at or after a bound), earlier
@@ -23,22 +24,60 @@
 
 #include "core/Ast.h"
 #include "core/EGraph.h"
+#include "core/Index.h"
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace egglog {
 
-/// Restriction applied to one atom's rows during semi-naïve evaluation.
-enum class AtomFilter : uint8_t {
-  All, ///< Every live row.
-  Old, ///< Live rows stamped strictly before the delta bound.
-  New, ///< Live rows stamped at or after the delta bound.
-};
-
 /// Callback invoked once per substitution; the environment holds a value
 /// for every query variable.
 using MatchCallback = std::function<void(const std::vector<Value> &)>;
+
+/// Reusable execution context for one query. The atom shapes are analyzed
+/// once at construction and the join scratch buffers persist across
+/// executions, so a rule's semi-naïve delta variants and repeated engine
+/// iterations run allocation-free after warm-up. The referenced Query (and
+/// EGraph) must outlive the executor.
+class QueryExecutor {
+public:
+  QueryExecutor(EGraph &Graph, const Query &Q);
+  ~QueryExecutor();
+  QueryExecutor(QueryExecutor &&) noexcept;
+  QueryExecutor &operator=(QueryExecutor &&) noexcept;
+
+  /// Runs one filter variant (see executeQuery below for the semantics of
+  /// \p Filters and \p DeltaBound).
+  void execute(const std::vector<AtomFilter> &Filters, uint32_t DeltaBound,
+               const MatchCallback &Callback, bool UseGenericJoin = true,
+               const std::function<bool()> *Cancel = nullptr);
+
+  /// Runs the full semi-naïve delta expansion (§4.3): one variant per
+  /// atom, where atom j is restricted to New (stamps >= \p DeltaBound),
+  /// atoms before j to Old, and atoms after j unrestricted.
+  void executeDelta(uint32_t DeltaBound, const MatchCallback &Callback,
+                    bool UseGenericJoin = true,
+                    const std::function<bool()> *Cancel = nullptr);
+
+  /// Like execute, but appends each match's environment (NumVars values)
+  /// to \p Arena and bumps \p Count instead of invoking a callback — the
+  /// engine's hot path, free of per-match indirect calls.
+  void executeCollect(const std::vector<AtomFilter> &Filters,
+                      uint32_t DeltaBound, std::vector<Value> &Arena,
+                      size_t &Count, bool UseGenericJoin = true,
+                      const std::function<bool()> *Cancel = nullptr);
+
+  /// Arena-collecting variant of executeDelta.
+  void executeDeltaCollect(uint32_t DeltaBound, std::vector<Value> &Arena,
+                           size_t &Count, bool UseGenericJoin = true,
+                           const std::function<bool()> *Cancel = nullptr);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
 
 /// Executes \p Q against \p Graph. \p Filters gives a per-atom restriction
 /// (it must have one entry per atom, or be empty for all-All), and
@@ -58,6 +97,13 @@ inline void executeQuery(EGraph &Graph, const Query &Q,
                          const MatchCallback &Callback) {
   executeQuery(Graph, Q, {}, 0, Callback);
 }
+
+/// Convenience wrapper for QueryExecutor::executeDelta with a one-shot
+/// execution context.
+void executeQueryDelta(EGraph &Graph, const Query &Q, uint32_t DeltaBound,
+                       const MatchCallback &Callback,
+                       bool UseGenericJoin = true,
+                       const std::function<bool()> *Cancel = nullptr);
 
 } // namespace egglog
 

@@ -6,8 +6,10 @@
 
 #include "core/Table.h"
 
+#include "core/Index.h"
 #include "support/Hashing.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -16,6 +18,33 @@ using namespace egglog;
 Table::Table(unsigned NumKeys) : NumKeys(NumKeys) {
   Slots.assign(16, 0);
   SlotMask = Slots.size() - 1;
+}
+
+Table::~Table() = default;
+
+IndexCache &Table::indexes() const {
+  if (!Indexes)
+    Indexes = std::make_unique<IndexCache>(*this);
+  return *Indexes;
+}
+
+size_t Table::liveCountAtLeast(uint32_t Bound) const {
+  size_t Count = 0;
+  if (StampsSorted) {
+    // Only the (typically small) suffix of rows stamped at or after the
+    // bound needs a liveness scan.
+    size_t First =
+        std::lower_bound(Stamps.begin(), Stamps.end(), Bound) -
+        Stamps.begin();
+    for (size_t Row = First; Row < Stamps.size(); ++Row)
+      if (Live[Row])
+        ++Count;
+    return Count;
+  }
+  for (size_t Row : liveRows())
+    if (Stamps[Row] >= Bound)
+      ++Count;
+  return Count;
 }
 
 uint64_t Table::hashKeys(const Value *Keys) const {
@@ -124,22 +153,29 @@ std::optional<Value> Table::insert(const Value *Keys, Value Out,
     // append a refreshed row.
     Live[Row] = false;
     --NumLive;
+    ++Kills;
     indexErase(Keys);
     size_t NewRow = Stamps.size();
     Cells.insert(Cells.end(), Keys, Keys + NumKeys);
     Cells.push_back(Out);
+    if (!Stamps.empty() && Stamp < Stamps.back())
+      StampsSorted = false;
     Stamps.push_back(Stamp);
     Live.push_back(true);
     ++NumLive;
+    ++Version;
     indexInsert(NewRow);
     return Old;
   }
   size_t NewRow = Stamps.size();
   Cells.insert(Cells.end(), Keys, Keys + NumKeys);
   Cells.push_back(Out);
+  if (!Stamps.empty() && Stamp < Stamps.back())
+    StampsSorted = false;
   Stamps.push_back(Stamp);
   Live.push_back(true);
   ++NumLive;
+  ++Version;
   indexInsert(NewRow);
   return std::nullopt;
 }
@@ -151,6 +187,8 @@ bool Table::erase(const Value *Keys) {
   size_t Row = static_cast<size_t>(Existing);
   Live[Row] = false;
   --NumLive;
+  ++Kills;
+  ++Version;
   indexErase(Keys);
   return true;
 }
@@ -160,6 +198,12 @@ void Table::clear() {
   Stamps.clear();
   Live.clear();
   NumLive = 0;
+  StampsSorted = true;
+  ++Version;
   Slots.assign(16, 0);
   SlotMask = Slots.size() - 1;
+  // Row slots will be reused with different contents, so cached indexes
+  // must not attempt an incremental refresh against their stale ids.
+  if (Indexes)
+    Indexes->invalidate();
 }

@@ -21,16 +21,23 @@
 #include "core/Value.h"
 
 #include <cstdint>
+#include <iterator>
+#include <memory>
 #include <optional>
 #include <vector>
 
 namespace egglog {
+
+class IndexCache;
 
 /// A single function's storage: rows of (keys..., output), a liveness
 /// bitmap, insertion timestamps, and an open-addressing index on keys.
 class Table {
 public:
   explicit Table(unsigned NumKeys);
+  ~Table();
+  Table(const Table &) = delete;
+  Table &operator=(const Table &) = delete;
 
   unsigned numKeys() const { return NumKeys; }
   /// Number of values per row (keys plus output).
@@ -62,6 +69,60 @@ public:
   bool isLive(size_t Row) const { return Live[Row]; }
   uint32_t stamp(size_t Row) const { return Stamps[Row]; }
 
+  /// Monotonic mutation counter: bumped on every insert, erase, and clear.
+  /// Cached query indexes compare it to decide whether they are stale.
+  uint64_t version() const { return Version; }
+
+  /// Number of rows ever killed (by update or erase). Lets an incremental
+  /// index refresh skip the dead-row sweep when nothing died.
+  uint64_t killCount() const { return Kills; }
+
+  /// Live rows with stamp >= \p Bound (the semi-naïve "new" partition).
+  size_t liveCountAtLeast(uint32_t Bound) const;
+
+  /// Forward iterator over the indices of live rows, skipping dead slots.
+  class LiveRowIterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = size_t;
+    using difference_type = ptrdiff_t;
+
+    LiveRowIterator(const Table &T, size_t Row) : T(&T), Row(Row) { skip(); }
+
+    size_t operator*() const { return Row; }
+    LiveRowIterator &operator++() {
+      ++Row;
+      skip();
+      return *this;
+    }
+    bool operator==(const LiveRowIterator &Other) const {
+      return Row == Other.Row;
+    }
+    bool operator!=(const LiveRowIterator &Other) const {
+      return Row != Other.Row;
+    }
+
+  private:
+    void skip() {
+      while (Row < T->rowCount() && !T->isLive(Row))
+        ++Row;
+    }
+    const Table *T;
+    size_t Row;
+  };
+
+  /// Packed view of the live rows: `for (size_t Row : T.liveRows())`.
+  struct LiveRowRange {
+    const Table *T;
+    LiveRowIterator begin() const { return LiveRowIterator(*T, 0); }
+    LiveRowIterator end() const { return LiveRowIterator(*T, T->rowCount()); }
+  };
+  LiveRowRange liveRows() const { return LiveRowRange{this}; }
+
+  /// The table's cache of sorted column indexes (created on first use).
+  /// Mutation invalidates it implicitly through version().
+  IndexCache &indexes() const;
+
   /// Pointer to the first value of a row (NumKeys keys then the output).
   const Value *row(size_t Row) const { return &Cells[Row * rowWidth()]; }
   Value output(size_t Row) const { return Cells[Row * rowWidth() + NumKeys]; }
@@ -75,6 +136,13 @@ private:
   std::vector<uint32_t> Stamps;
   std::vector<bool> Live;
   size_t NumLive = 0;
+  uint64_t Version = 0;
+  uint64_t Kills = 0;
+  /// True while Stamps is non-decreasing in append order (always the case
+  /// under the engine's monotonic timestamp); enables a binary search in
+  /// liveCountAtLeast.
+  bool StampsSorted = true;
+  mutable std::unique_ptr<IndexCache> Indexes;
 
   /// Open-addressing hash index mapping key tuples to their live row.
   /// Slots hold row index + 1; 0 means empty. Dead rows are unlinked

@@ -123,6 +123,8 @@ AnalysisResult runEgglog(const Program &P, bool SemiNaive,
   Opts.TimeoutSeconds = TimeoutSeconds;
   RunReport Report = F.engine().run(Opts);
   Result.Seconds = Clock.seconds();
+  for (const IterationStats &Stats : Report.Iterations)
+    Result.SearchSeconds += Stats.SearchSeconds;
   Result.TimedOut = Report.TimedOut;
   if (Result.TimedOut)
     return Result;
@@ -132,9 +134,7 @@ AnalysisResult runEgglog(const Program &P, bool SemiNaive,
   Result.AllocClass.assign(P.numAllAllocs(), 0);
   std::unordered_map<uint64_t, uint32_t> ClassMin;
   const Table &ObjTable = *G.function(ObjOf).Storage;
-  for (size_t Row = 0; Row < ObjTable.rowCount(); ++Row) {
-    if (!ObjTable.isLive(Row))
-      continue;
+  for (size_t Row : ObjTable.liveRows()) {
     const Value *Cells = ObjTable.row(Row);
     uint32_t A = static_cast<uint32_t>(G.valueToI64(Cells[0]));
     uint64_t Class = G.canonicalize(Cells[1]).Bits;
@@ -144,9 +144,7 @@ AnalysisResult runEgglog(const Program &P, bool SemiNaive,
   }
   for (uint32_t A = 0; A < P.numAllAllocs(); ++A)
     Result.AllocClass[A] = A;
-  for (size_t Row = 0; Row < ObjTable.rowCount(); ++Row) {
-    if (!ObjTable.isLive(Row))
-      continue;
+  for (size_t Row : ObjTable.liveRows()) {
     const Value *Cells = ObjTable.row(Row);
     uint32_t A = static_cast<uint32_t>(G.valueToI64(Cells[0]));
     Result.AllocClass[A] = ClassMin[G.canonicalize(Cells[1]).Bits];

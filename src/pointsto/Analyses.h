@@ -57,6 +57,9 @@ const char *systemName(System S);
 struct AnalysisResult {
   bool TimedOut = false;
   double Seconds = 0;
+  /// Seconds spent in the engine's search phase (egglog systems only;
+  /// zero for the Datalog and classic baselines).
+  double SearchSeconds = 0;
   /// For each allocation id (base + field), the smallest allocation id it
   /// is equivalent to.
   std::vector<uint32_t> AllocClass;
