@@ -22,6 +22,10 @@
 
 namespace egglog {
 
+/// Dense identifier of a ruleset within an Engine. Ruleset 0 is the default
+/// ruleset that unannotated rules join and that bare (run ...) executes.
+using RulesetId = uint32_t;
+
 /// A typed expression tree used in actions, merge expressions, and default
 /// expressions.
 struct TypedExpr {
@@ -139,6 +143,9 @@ struct Rule {
   std::vector<Action> Actions;
   /// Total variable slots (query variables followed by action lets).
   uint32_t NumSlots = 0;
+  /// The ruleset this rule belongs to; only runs that select this ruleset
+  /// search the rule.
+  RulesetId Ruleset = 0;
 };
 
 /// A ground fact to verify with (check ...): either that a term is present
@@ -148,6 +155,43 @@ struct CheckFact {
   Kind FactKind = Kind::Present;
   TypedExpr Lhs;
   TypedExpr Rhs;
+};
+
+/// A composable run schedule (the (run-schedule ...) command): the leaves
+/// run one ruleset for a bounded number of iterations, and the combinators
+/// sequence, repeat, and saturate sub-schedules. Interpreted by
+/// Engine::runSchedule.
+struct Schedule {
+  enum class Kind {
+    Run,      ///< Run Ruleset for up to Times iterations.
+    Seq,      ///< Run Children in order.
+    Repeat,   ///< Run Children in order, Times times over.
+    Saturate, ///< Run Children in order until a whole pass changes nothing.
+  };
+
+  Kind ScheduleKind = Kind::Run;
+  RulesetId Ruleset = 0;
+  /// Iteration count for Run, repetition count for Repeat.
+  unsigned Times = 1;
+  std::vector<Schedule> Children;
+  /// Run only: stop early once every fact holds (the :until clause).
+  std::vector<CheckFact> Until;
+
+  static Schedule makeRun(RulesetId Ruleset, unsigned Times) {
+    Schedule S;
+    S.ScheduleKind = Kind::Run;
+    S.Ruleset = Ruleset;
+    S.Times = Times;
+    return S;
+  }
+  static Schedule makeCombinator(Kind K, std::vector<Schedule> Children,
+                                 unsigned Times = 1) {
+    Schedule S;
+    S.ScheduleKind = K;
+    S.Children = std::move(Children);
+    S.Times = Times;
+    return S;
+  }
 };
 
 } // namespace egglog

@@ -427,6 +427,44 @@ void EGraph::invalidateIndexes() {
 }
 
 //===----------------------------------------------------------------------===
+// Push/pop contexts
+//===----------------------------------------------------------------------===
+
+EGraph::Snapshot EGraph::snapshot() const {
+  Snapshot S;
+  S.UF = UF.snapshot();
+  S.Tables.reserve(Functions.size());
+  for (const auto &Info : Functions)
+    S.Tables.push_back(Info->Storage->snapshot());
+  S.NumSorts = SortsTable.size();
+  S.NumFunctions = Functions.size();
+  S.NumPrims = Prims.size();
+  S.Timestamp = Timestamp;
+  S.UnionsDirty = UnionsDirty;
+  return S;
+}
+
+void EGraph::restore(const Snapshot &S) {
+  assert(S.NumFunctions <= Functions.size() &&
+         S.NumFunctions == S.Tables.size() &&
+         "snapshot is from a different database");
+  // Drop declarations made since the snapshot (newest first).
+  for (size_t F = Functions.size(); F > S.NumFunctions; --F) {
+    FunctionNames.erase(Functions[F - 1]->Decl.Name);
+    Functions.pop_back();
+  }
+  SortsTable.truncate(S.NumSorts);
+  Prims.truncate(S.NumPrims);
+
+  for (size_t F = 0; F < S.NumFunctions; ++F)
+    Functions[F]->Storage->restore(S.Tables[F]);
+  UF.restore(S.UF);
+  Timestamp = S.Timestamp;
+  UnionsDirty = S.UnionsDirty;
+  clearError();
+}
+
+//===----------------------------------------------------------------------===
 // Set primitives
 //===----------------------------------------------------------------------===
 

@@ -214,6 +214,36 @@ public:
   void invalidateIndexes();
 
   //===--------------------------------------------------------------------===
+  // Push/pop contexts
+  //===--------------------------------------------------------------------===
+
+  /// A frozen copy of the database for (push)/(pop): the union-find, one
+  /// Table::Snapshot per function, and the declaration counts so sorts,
+  /// functions, and primitives declared inside the context are dropped on
+  /// restore. Interned strings/rationals/sets are append-only and are
+  /// deliberately NOT rolled back (values interned inside an abandoned
+  /// context become unreachable, which is harmless).
+  struct Snapshot {
+    UnionFind::Snapshot UF;
+    std::vector<Table::Snapshot> Tables;
+    size_t NumSorts = 0;
+    size_t NumFunctions = 0;
+    size_t NumPrims = 0;
+    uint32_t Timestamp = 0;
+    bool UnionsDirty = false;
+  };
+
+  /// Captures the current database state. Cheap to take: the union-find
+  /// parent array plus one liveness bitmap per table; no row data is
+  /// copied (tables are append-only).
+  Snapshot snapshot() const;
+
+  /// Restores the exact state captured by \p S: every union, insertion,
+  /// update, deletion, and declaration made since is undone, and
+  /// liveContentHash() returns exactly its pre-snapshot value.
+  void restore(const Snapshot &S);
+
+  //===--------------------------------------------------------------------===
   // Error reporting
   //===--------------------------------------------------------------------===
 

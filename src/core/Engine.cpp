@@ -9,12 +9,37 @@
 #include "core/Query.h"
 #include "support/Timer.h"
 
+#include <algorithm>
+#include <cassert>
+
 using namespace egglog;
 
 size_t Engine::addRule(Rule R) {
+  assert(R.Ruleset < RulesetNames.size() && "rule names an unknown ruleset");
   Rules.push_back(std::move(R));
   States.push_back(RuleState{});
   return Rules.size() - 1;
+}
+
+RulesetId Engine::declareRuleset(const std::string &Name) {
+  assert(!Name.empty() && "the default ruleset has no name");
+  assert(RulesetIds.find(Name) == RulesetIds.end() && "ruleset redeclared");
+  RulesetId Id = static_cast<RulesetId>(RulesetNames.size());
+  RulesetNames.push_back(Name);
+  RulesetIds.emplace(Name, Id);
+  return Id;
+}
+
+bool Engine::lookupRuleset(const std::string &Name, RulesetId &Out) const {
+  if (Name.empty()) {
+    Out = 0;
+    return true;
+  }
+  auto It = RulesetIds.find(Name);
+  if (It == RulesetIds.end())
+    return false;
+  Out = It->second;
+  return true;
 }
 
 uint64_t Engine::mutationStamp() const {
@@ -22,6 +47,44 @@ uint64_t Engine::mutationStamp() const {
   for (size_t F = 0; F < Graph.numFunctions(); ++F)
     Stamp += Graph.function(F).Storage->version();
   return Stamp;
+}
+
+bool Engine::anyBanPending(RulesetId Ruleset) const {
+  for (size_t R = 0; R < Rules.size(); ++R)
+    if (Rules[R].Ruleset == Ruleset && GlobalIteration < States[R].BannedUntil)
+      return true;
+  return false;
+}
+
+void Engine::fastForwardBans(RulesetId Ruleset) {
+  uint64_t Earliest = UINT64_MAX;
+  for (size_t R = 0; R < Rules.size(); ++R)
+    if (Rules[R].Ruleset == Ruleset && GlobalIteration < States[R].BannedUntil)
+      Earliest = std::min(Earliest, States[R].BannedUntil);
+  if (Earliest == UINT64_MAX)
+    return;
+  // Shift this ruleset's bans earlier by the dead time instead of
+  // advancing the shared iteration clock: other rulesets' bans must keep
+  // suppressing their rules for the full span of *actual* iterations.
+  // run() pre-increments GlobalIteration, so an expiry of
+  // GlobalIteration + 1 makes the earliest-banned rule runnable in the
+  // very next iteration; relative expiry order within the ruleset is
+  // preserved.
+  uint64_t Dead = Earliest - (GlobalIteration + 1);
+  if (Dead == 0)
+    return;
+  for (size_t R = 0; R < Rules.size(); ++R)
+    if (Rules[R].Ruleset == Ruleset && GlobalIteration < States[R].BannedUntil)
+      States[R].BannedUntil -= Dead;
+}
+
+uint64_t Engine::contentHashAt(uint64_t Stamp) {
+  if (!CachedSigValid || CachedSigStamp != Stamp) {
+    CachedSigHash = Graph.liveContentHash();
+    CachedSigStamp = Stamp;
+    CachedSigValid = true;
+  }
+  return CachedSigHash;
 }
 
 RunReport Engine::run(const RunOptions &Options) {
@@ -63,11 +126,16 @@ RunReport Engine::run(const RunOptions &Options) {
 
     //=== Search phase: collect matches for every runnable rule. ===========
     // Matches are collected per rule into a flat arena (NumVars values per
-    // match) rather than one heap vector per match.
+    // match) rather than one heap vector per match. Rules outside the
+    // selected ruleset are skipped entirely; their DeltaStart stays put, so
+    // when their ruleset next runs, the delta covers everything that
+    // happened in between (phased schedules stay semi-naïve-correct).
     std::vector<std::vector<Value>> AllMatches(Rules.size());
     std::vector<size_t> MatchCounts(Rules.size(), 0);
     bool AnyBanned = false;
     for (size_t R = 0; R < Rules.size(); ++R) {
+      if (Rules[R].Ruleset != Options.Ruleset)
+        continue;
       RuleState &State = States[R];
       if (Options.UseBackoff && GlobalIteration < State.BannedUntil) {
         AnyBanned = true;
@@ -200,4 +268,238 @@ RunReport Engine::run(const RunOptions &Options) {
 
   Report.TotalSeconds = Total.seconds();
   return Report;
+}
+
+//===----------------------------------------------------------------------===
+// Schedule interpretation
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Folds a leaf run's report into the schedule-wide report. Saturated is
+/// NOT folded here: whether the whole schedule is at a fixpoint is a
+/// per-node verdict (a later leaf saturating says nothing about an
+/// earlier one), set by the node cases below.
+void appendReport(RunReport &Total, const RunReport &Leaf) {
+  Total.Iterations.insert(Total.Iterations.end(), Leaf.Iterations.begin(),
+                          Leaf.Iterations.end());
+  Total.HitNodeLimit |= Leaf.HitNodeLimit;
+  Total.TimedOut |= Leaf.TimedOut;
+}
+
+/// Safety valve for (saturate ...) over schedules that never converge and
+/// carry no timeout or node limit. Generous: real workloads either
+/// saturate or trip a limit long before this.
+constexpr size_t MaxSaturatePasses = 1 << 20;
+
+} // namespace
+
+bool Engine::runScheduleNode(const Schedule &S, const RunOptions &Base,
+                             RunReport &Total, Timer &Clock, bool &Stop) {
+  if (Stop)
+    return false;
+
+  switch (S.ScheduleKind) {
+  case Schedule::Kind::Run: {
+    RunOptions Opts = Base;
+    Opts.Ruleset = S.Ruleset;
+    // TimeoutSeconds budgets the whole schedule: hand each run() only what
+    // remains on the clock, re-checked before every call.
+    auto LeafTimeoutOk = [&] {
+      if (Base.TimeoutSeconds <= 0)
+        return true;
+      double Remaining = Base.TimeoutSeconds - Clock.seconds();
+      if (Remaining <= 0) {
+        Total.TimedOut = true;
+        Stop = true;
+        return false;
+      }
+      Opts.TimeoutSeconds = Remaining;
+      return true;
+    };
+
+    size_t LiveBefore = Graph.liveTupleCount();
+    uint64_t UnionsBefore = Graph.unionFind().unionCount();
+    uint64_t StampBefore = mutationStamp();
+    uint64_t HashBefore = contentHashAt(StampBefore);
+
+    bool LeafSaturated = false;
+    bool GoalMet = false;
+    if (S.Until.empty()) {
+      if (!LeafTimeoutOk())
+        return false;
+      Opts.Iterations = S.Times;
+      RunReport Leaf = run(Opts);
+      LeafSaturated = Leaf.Saturated;
+      appendReport(Total, Leaf);
+    } else {
+      // Run one iteration at a time so the :until facts are re-checked at
+      // every step (including before the first, so an already-satisfied
+      // goal runs nothing).
+      Opts.Iterations = 1;
+      for (unsigned Iter = 0; Iter < S.Times; ++Iter) {
+        if (Graph.needsRebuild())
+          Graph.rebuild();
+        bool AllHold = true;
+        for (const CheckFact &Fact : S.Until)
+          AllHold &= Graph.checkFact(Fact);
+        if (AllHold) {
+          GoalMet = true;
+          break;
+        }
+        if (!LeafTimeoutOk())
+          return false;
+        RunReport Leaf = run(Opts);
+        LeafSaturated = Leaf.Saturated;
+        appendReport(Total, Leaf);
+        if (Leaf.Saturated || Leaf.TimedOut || Leaf.HitNodeLimit ||
+            Graph.failed())
+          break;
+      }
+    }
+    if (Total.TimedOut || Total.HitNodeLimit || Graph.failed())
+      Stop = true;
+    // This leaf's fixpoint verdict stands when it is the whole schedule;
+    // enclosing combinators overwrite it with their own.
+    Total.Saturated = LeafSaturated;
+
+    // Progress detection without re-hashing the database in the common
+    // cases: an identical mutation stamp means nothing was touched at
+    // all, and changed live/union counts are definite progress. Only the
+    // ambiguous case — mutations with identical counts, e.g. lattice
+    // merges or kill/re-append churn — pays for the content hash.
+    bool ContentChanged;
+    uint64_t StampAfter = mutationStamp();
+    if (StampAfter == StampBefore)
+      ContentChanged = false;
+    else if (Graph.liveTupleCount() != LiveBefore ||
+             Graph.unionFind().unionCount() != UnionsBefore)
+      ContentChanged = true;
+    else
+      ContentChanged = contentHashAt(StampAfter) != HashBefore;
+
+    // Pending BackOff bans count as progress so an enclosing saturate
+    // keeps going (the dropped matches are pending) — except when the
+    // :until goal is met, which ends this leaf's work regardless. When
+    // only bans are pending, skip the dead time until the next expiry.
+    bool BansPending =
+        !GoalMet && Opts.UseBackoff && anyBanPending(S.Ruleset);
+    if (!ContentChanged && BansPending)
+      fastForwardBans(S.Ruleset);
+    return ContentChanged || BansPending;
+  }
+
+  case Schedule::Kind::Seq: {
+    bool Updated = false;
+    for (const Schedule &Child : S.Children) {
+      Updated |= runScheduleNode(Child, Base, Total, Clock, Stop);
+      if (Stop)
+        break;
+    }
+    // A multi-child sequence proves no whole-schedule fixpoint of its own
+    // (a later leaf saturating says nothing about earlier ones);
+    // runSchedule's !Updated check supplies the verdict for the provable
+    // case. A single-child seq — e.g. the implicit (run-schedule ...)
+    // wrapper — is transparent: its child's verdict stands.
+    if (S.Children.size() != 1)
+      Total.Saturated = false;
+    return Updated;
+  }
+
+  case Schedule::Kind::Repeat: {
+    bool Updated = false;
+    bool BodyAtFixpoint = false;
+    for (unsigned Rep = 0; Rep < S.Times && !Stop; ++Rep) {
+      bool PassUpdated = false;
+      for (const Schedule &Child : S.Children) {
+        PassUpdated |= runScheduleNode(Child, Base, Total, Clock, Stop);
+        if (Stop)
+          break;
+      }
+      Updated |= PassUpdated;
+      // A whole pass without progress is a fixpoint of the repeated body;
+      // further repetitions cannot change anything.
+      if (!PassUpdated && !Stop) {
+        BodyAtFixpoint = true;
+        break;
+      }
+    }
+    Total.Saturated = BodyAtFixpoint;
+    return Updated;
+  }
+
+  case Schedule::Kind::Saturate: {
+    bool Updated = false;
+    bool Converged = false;
+    for (size_t Pass = 0; Pass < MaxSaturatePasses && !Stop; ++Pass) {
+      bool PassUpdated = false;
+      for (const Schedule &Child : S.Children) {
+        PassUpdated |= runScheduleNode(Child, Base, Total, Clock, Stop);
+        if (Stop)
+          break;
+      }
+      Updated |= PassUpdated;
+      if (!PassUpdated && !Stop) {
+        // A whole pass without updates (and no bans pending) IS the
+        // saturation proof; the last leaf's own report cannot see it
+        // because its single iteration only bootstraps the content hash.
+        Converged = true;
+        break;
+      }
+    }
+    Total.Saturated = Converged;
+    return Updated;
+  }
+  }
+  return false;
+}
+
+RunReport Engine::runSchedule(const Schedule &S, const RunOptions &Options) {
+  RunReport Total;
+  Timer Clock;
+  bool Stop = false;
+  bool Updated = runScheduleNode(S, Options, Total, Clock, Stop);
+  // A schedule that ran to completion without a final update has reached a
+  // fixpoint of its body.
+  if (!Stop && !Updated)
+    Total.Saturated = true;
+  Total.TotalSeconds = Clock.seconds();
+  return Total;
+}
+
+//===----------------------------------------------------------------------===
+// Push/pop contexts
+//===----------------------------------------------------------------------===
+
+Engine::Snapshot Engine::snapshot() const {
+  Snapshot S;
+  S.NumRules = Rules.size();
+  S.NumRulesets = RulesetNames.size();
+  S.States = States;
+  S.GlobalIteration = GlobalIteration;
+  S.LastContentHash = LastContentHash;
+  S.LastMutationStamp = LastMutationStamp;
+  S.HasContentHash = HasContentHash;
+  return S;
+}
+
+void Engine::restore(const Snapshot &S) {
+  assert(S.NumRules <= Rules.size() && S.NumRules == S.States.size() &&
+         "snapshot is from a different engine");
+  // Executors reference Query objects inside Rules; drop them before the
+  // rules so the next run() rebuilds fresh contexts.
+  Executors.clear();
+  Rules.resize(S.NumRules);
+  States = S.States;
+  for (size_t Id = RulesetNames.size(); Id > S.NumRulesets; --Id)
+    RulesetIds.erase(RulesetNames[Id - 1]);
+  RulesetNames.resize(S.NumRulesets);
+  GlobalIteration = S.GlobalIteration;
+  LastContentHash = S.LastContentHash;
+  LastMutationStamp = S.LastMutationStamp;
+  HasContentHash = S.HasContentHash;
+  // restore() resets the union counter, breaking the stamp monotonicity
+  // the schedule hash cache relies on — a post-restore stamp can collide
+  // with a pre-restore one over different content.
+  CachedSigValid = false;
 }

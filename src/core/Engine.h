@@ -12,6 +12,13 @@
 /// egg's default scheduler: rules that over-match are banned for
 /// exponentially growing spans).
 ///
+/// Rules are grouped into named *rulesets* (ruleset 0 is the default), a
+/// run() selects one ruleset, and runSchedule() interprets a Schedule tree
+/// (saturate / seq / repeat / run-with-until) over them. Per-rule
+/// semi-naïve delta bounds and BackOff bans live on the rule, not the run,
+/// so phased schedules interleave rulesets without re-deriving or dropping
+/// work.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EGGLOG_CORE_ENGINE_H
@@ -23,14 +30,20 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace egglog {
+
+class Timer;
 
 /// Knobs for one run of the engine.
 struct RunOptions {
   /// Maximum number of iterations.
   unsigned Iterations = 1;
+  /// The ruleset to run. Rules declared without a ruleset live in the
+  /// default ruleset 0, so existing single-ruleset programs are unaffected.
+  RulesetId Ruleset = 0;
   /// Use semi-naïve delta evaluation (§4.3); turning this off gives the
   /// egglogNI baseline of the paper's benchmarks.
   bool SemiNaive = true;
@@ -42,7 +55,8 @@ struct RunOptions {
   uint64_t BackoffBanLength = 5;
   /// Stop when total live tuples exceed this bound (0 = unlimited).
   size_t NodeLimit = 0;
-  /// Stop after this many seconds (0 = unlimited).
+  /// Stop after this many seconds (0 = unlimited). For runSchedule this is
+  /// a budget for the whole schedule, not per leaf.
   double TimeoutSeconds = 0;
 };
 
@@ -77,22 +91,44 @@ struct RunReport {
 /// programs ((run 5) ... (run 5)) behave like one longer run.
 class Engine {
 public:
-  explicit Engine(EGraph &Graph) : Graph(Graph) {}
+  explicit Engine(EGraph &Graph) : Graph(Graph) {
+    RulesetNames.push_back(""); // the default ruleset
+  }
 
-  /// Adds a rule; returns its index.
+  /// Adds a rule (its Ruleset field selects the ruleset); returns its
+  /// index.
   size_t addRule(Rule R);
 
   size_t numRules() const { return Rules.size(); }
   const Rule &rule(size_t Index) const { return Rules[Index]; }
 
-  /// Runs up to Options.Iterations iterations; stops early on saturation,
-  /// node limit, or timeout.
+  /// Declares a named ruleset; the name must be fresh and non-empty.
+  RulesetId declareRuleset(const std::string &Name);
+
+  /// Finds a ruleset by name (the empty name is the default ruleset).
+  bool lookupRuleset(const std::string &Name, RulesetId &Out) const;
+
+  size_t numRulesets() const { return RulesetNames.size(); }
+  const std::string &rulesetName(RulesetId Id) const {
+    return RulesetNames[Id];
+  }
+
+  /// Runs up to Options.Iterations iterations of Options.Ruleset; stops
+  /// early on saturation, node limit, or timeout.
   RunReport run(const RunOptions &Options);
+
+  /// Interprets a Schedule tree: leaves call run(), (saturate ...) loops
+  /// its children until a whole pass leaves the database unchanged (with
+  /// no BackOff bans pending), (repeat n ...) runs its children n times,
+  /// and a leaf's :until facts stop that leaf early. Options.Ruleset is
+  /// ignored (each leaf names its own); the other knobs apply to every
+  /// leaf, with TimeoutSeconds budgeting the whole schedule.
+  RunReport runSchedule(const Schedule &S, const RunOptions &Options);
 
   EGraph &graph() { return Graph; }
 
-private:
-  /// Per-rule scheduler and semi-naïve state.
+  /// Per-rule scheduler and semi-naïve state (public only so Snapshot can
+  /// carry it).
   struct RuleState {
     /// Rows stamped at or after this are this rule's pending delta.
     uint32_t DeltaStart = 0;
@@ -101,9 +137,28 @@ private:
     unsigned TimesBanned = 0;
   };
 
+  /// A frozen copy of the engine-side state for push/pop contexts: rules
+  /// and rulesets declared since the snapshot are dropped on restore, and
+  /// per-rule semi-naïve/BackOff state rolls back with the database.
+  struct Snapshot {
+    size_t NumRules = 0;
+    size_t NumRulesets = 0;
+    std::vector<RuleState> States;
+    uint64_t GlobalIteration = 0;
+    uint64_t LastContentHash = 0;
+    uint64_t LastMutationStamp = 0;
+    bool HasContentHash = false;
+  };
+
+  Snapshot snapshot() const;
+  void restore(const Snapshot &S);
+
+private:
   EGraph &Graph;
   std::vector<Rule> Rules;
   std::vector<RuleState> States;
+  std::vector<std::string> RulesetNames;
+  std::unordered_map<std::string, RulesetId> RulesetIds;
   /// One persistent execution context per rule, so join scratch and atom
   /// shapes survive across delta variants and iterations. Rebuilt by run()
   /// whenever rules were added (Rules may have reallocated).
@@ -119,6 +174,34 @@ private:
   bool HasContentHash = false;
 
   uint64_t mutationStamp() const;
+
+  /// True if some rule of \p Ruleset is still banned by BackOff (pending
+  /// work exists even though the last pass changed nothing).
+  bool anyBanPending(RulesetId Ruleset) const;
+
+  /// Schedule-only BackOff fast-forward: when a leaf run changed nothing
+  /// because every matching rule of \p Ruleset is banned, advance the
+  /// global iteration clock to the earliest ban expiry instead of spinning
+  /// empty passes to tick it down one by one. Unreachable from plain run()
+  /// so single-ruleset benchmark trajectories are untouched.
+  void fastForwardBans(RulesetId Ruleset);
+
+  /// Live-content hash at mutation stamp \p Stamp, memoized so the
+  /// schedule interpreter hashes each database state at most once (a
+  /// leaf's before-hash is usually the previous leaf's after-hash).
+  /// Sound because versions and unions are monotone, so equal stamps
+  /// imply identical content — except across restore(), which resets the
+  /// union counter and therefore invalidates the cache explicitly.
+  uint64_t contentHashAt(uint64_t Stamp);
+  uint64_t CachedSigHash = 0;
+  uint64_t CachedSigStamp = 0;
+  bool CachedSigValid = false;
+
+  /// Recursive schedule interpreter; returns true if the node updated the
+  /// database (or left BackOff bans pending). Sets \p Stop on timeout,
+  /// node limit, or database failure.
+  bool runScheduleNode(const Schedule &S, const RunOptions &Base,
+                       RunReport &Total, Timer &Clock, bool &Stop);
 };
 
 } // namespace egglog

@@ -74,8 +74,16 @@ bool Frontend::executeForm(const SExpr &Form) {
     return execRewrite(Form, /*Bidirectional=*/true);
   if (Head == "define" || Head == "let")
     return execDefine(Form);
+  if (Head == "ruleset")
+    return execRuleset(Form);
   if (Head == "run")
     return execRun(Form);
+  if (Head == "run-schedule")
+    return execRunSchedule(Form);
+  if (Head == "push")
+    return execPush(Form);
+  if (Head == "pop")
+    return execPop(Form);
   if (Head == "check")
     return execCheck(Form, /*ExpectFailure=*/false);
   if (Head == "check-fail")
@@ -244,6 +252,9 @@ bool Frontend::execRule(const SExpr &Form) {
   Rule R;
   if (auto It = Keywords.find(":name"); It != Keywords.end())
     R.Name = It->second->Text;
+  if (auto It = Keywords.find(":ruleset"); It != Keywords.end())
+    if (!parseRulesetName(*It->second, R.Ruleset))
+      return false;
 
   RuleCtx Ctx;
   for (const SExpr &Fact : Form[1].Elements)
@@ -260,8 +271,8 @@ bool Frontend::execRule(const SExpr &Form) {
 }
 
 bool Frontend::makeRewriteRule(const SExpr &Lhs, const SExpr &Rhs,
-                               const SExpr *WhenList,
-                               const std::string &Name) {
+                               const SExpr *WhenList, const std::string &Name,
+                               RulesetId Ruleset) {
   RuleCtx Ctx;
   Binding Root;
   if (!flattenPattern(Ctx, Lhs, InvalidSort, Root))
@@ -279,6 +290,7 @@ bool Frontend::makeRewriteRule(const SExpr &Lhs, const SExpr &Rhs,
 
   Rule R;
   R.Name = Name;
+  R.Ruleset = Ruleset;
   TypedExpr RhsExpr;
   if (!typecheckExpr(Ctx, Rhs, Root.Sort, RhsExpr))
     return false;
@@ -305,9 +317,14 @@ bool Frontend::execRewrite(const SExpr &Form, bool Bidirectional) {
   std::string Name;
   if (auto It = Keywords.find(":name"); It != Keywords.end())
     Name = It->second->Text;
-  if (!makeRewriteRule(Form[1], Form[2], WhenList, Name))
+  RulesetId Ruleset = 0;
+  if (auto It = Keywords.find(":ruleset"); It != Keywords.end())
+    if (!parseRulesetName(*It->second, Ruleset))
+      return false;
+  if (!makeRewriteRule(Form[1], Form[2], WhenList, Name, Ruleset))
     return false;
-  if (Bidirectional && !makeRewriteRule(Form[2], Form[1], WhenList, Name))
+  if (Bidirectional &&
+      !makeRewriteRule(Form[2], Form[1], WhenList, Name, Ruleset))
     return false;
   return true;
 }
@@ -354,19 +371,188 @@ bool Frontend::execDefine(const SExpr &Form) {
   return true;
 }
 
-bool Frontend::execRun(const SExpr &Form) {
-  RunOptions Opts = Options;
-  if (Form.size() >= 2) {
-    if (!Form[1].isInteger() || Form[1].IntValue < 0)
-      return fail(Form, "usage: (run) or (run n)");
-    Opts.Iterations = static_cast<unsigned>(Form[1].IntValue);
-  } else {
-    // Bare (run): iterate to saturation with a generous safety cap.
-    Opts.Iterations = 1000;
+bool Frontend::parseRulesetName(const SExpr &Node, RulesetId &Out) {
+  if (!Node.isSymbol())
+    return fail(Node, "expected a ruleset name");
+  if (!Eng.lookupRuleset(Node.Text, Out))
+    return fail(Node, "unknown ruleset '" + Node.Text + "'");
+  return true;
+}
+
+bool Frontend::execRuleset(const SExpr &Form) {
+  if (Form.size() != 2 || !Form[1].isSymbol())
+    return fail(Form, "usage: (ruleset name)");
+  RulesetId Existing;
+  if (Eng.lookupRuleset(Form[1].Text, Existing))
+    return fail(Form, "ruleset '" + Form[1].Text + "' already declared");
+  Eng.declareRuleset(Form[1].Text);
+  return true;
+}
+
+bool Frontend::parseRunLeaf(const SExpr &Form, Schedule &Out,
+                            bool &HasCount) {
+  // (run), (run n), (run ruleset), (run ruleset n), each with an optional
+  // trailing :until (facts...).
+  Out = Schedule();
+  HasCount = false;
+  size_t Arg = 1;
+  if (Arg < Form.size() && Form[Arg].isSymbol() && !isKeyword(Form[Arg])) {
+    if (!parseRulesetName(Form[Arg], Out.Ruleset))
+      return false;
+    ++Arg;
   }
-  LastRun = Eng.run(Opts);
+  if (Arg < Form.size() && !isKeyword(Form[Arg])) {
+    if (!Form[Arg].isInteger() || Form[Arg].IntValue < 0)
+      return fail(Form, "usage: (run [ruleset] [n] [:until (facts...)])");
+    Out.Times = static_cast<unsigned>(Form[Arg].IntValue);
+    HasCount = true;
+    ++Arg;
+  }
+  std::unordered_map<std::string, const SExpr *> Keywords;
+  if (!scanKeywords(Form, Arg, Keywords))
+    return fail(Form, "malformed keyword arguments");
+  if (auto It = Keywords.find(":until"); It != Keywords.end()) {
+    if (!It->second->isList())
+      return fail(*It->second, ":until expects a list of facts");
+    for (const SExpr &Fact : It->second->Elements) {
+      CheckFact Checked;
+      if (!typecheckCheckFact(Fact, Checked))
+        return false;
+      Out.Until.push_back(std::move(Checked));
+    }
+  }
+  return true;
+}
+
+bool Frontend::execRun(const SExpr &Form) {
+  Schedule Leaf;
+  bool HasCount;
+  if (!parseRunLeaf(Form, Leaf, HasCount))
+    return false;
+  // Bare count: iterate to saturation with a generous safety cap.
+  if (!HasCount)
+    Leaf.Times = 1000;
+
+  if (Leaf.Ruleset == 0 && Leaf.Until.empty()) {
+    // The classic single-ruleset path; kept separate from the schedule
+    // interpreter so the engine's own saturation detection reports
+    // through LastRun exactly as before.
+    RunOptions Opts = Options;
+    Opts.Ruleset = 0;
+    Opts.Iterations = Leaf.Times;
+    LastRun = Eng.run(Opts);
+  } else {
+    LastRun = Eng.runSchedule(Leaf, Options);
+  }
   if (Graph.failed())
     return fail(Form, Graph.errorMessage());
+  return true;
+}
+
+bool Frontend::parseSchedule(const SExpr &Node, Schedule &Out) {
+  // A bare ruleset name runs that ruleset once.
+  if (Node.isSymbol()) {
+    Out = Schedule::makeRun(0, 1);
+    return parseRulesetName(Node, Out.Ruleset);
+  }
+  if (!Node.isList() || Node.size() == 0 || !Node[0].isSymbol())
+    return fail(Node, "expected a schedule");
+  const std::string &Head = Node[0].Text;
+
+  if (Head == "run") {
+    bool HasCount;
+    if (!parseRunLeaf(Node, Out, HasCount))
+      return false;
+    if (!HasCount)
+      Out.Times = 1;
+    return true;
+  }
+
+  if (Head == "saturate" || Head == "seq" || Head == "repeat") {
+    size_t First = 1;
+    unsigned Times = 1;
+    Schedule::Kind Kind = Schedule::Kind::Seq;
+    if (Head == "saturate") {
+      Kind = Schedule::Kind::Saturate;
+    } else if (Head == "repeat") {
+      Kind = Schedule::Kind::Repeat;
+      if (Node.size() < 2 || !Node[1].isInteger() || Node[1].IntValue < 0)
+        return fail(Node, "usage: (repeat n schedules...)");
+      Times = static_cast<unsigned>(Node[1].IntValue);
+      First = 2;
+    }
+    std::vector<Schedule> Children;
+    for (size_t I = First; I < Node.size(); ++I) {
+      Schedule Child;
+      if (!parseSchedule(Node[I], Child))
+        return false;
+      Children.push_back(std::move(Child));
+    }
+    if (Children.empty())
+      return fail(Node, "(" + Head + ") needs at least one sub-schedule");
+    Out = Schedule::makeCombinator(Kind, std::move(Children), Times);
+    return true;
+  }
+
+  return fail(Node, "unknown schedule form '" + Head + "'");
+}
+
+bool Frontend::execRunSchedule(const SExpr &Form) {
+  if (Form.size() < 2)
+    return fail(Form, "usage: (run-schedule schedules...)");
+  std::vector<Schedule> Children;
+  for (size_t I = 1; I < Form.size(); ++I) {
+    Schedule Child;
+    if (!parseSchedule(Form[I], Child))
+      return false;
+    Children.push_back(std::move(Child));
+  }
+  Schedule Root =
+      Schedule::makeCombinator(Schedule::Kind::Seq, std::move(Children));
+  LastRun = Eng.runSchedule(Root, Options);
+  if (Graph.failed())
+    return fail(Form, Graph.errorMessage());
+  return true;
+}
+
+void Frontend::pushContext() {
+  Contexts.push_back(SavedContext{Graph.snapshot(), Eng.snapshot()});
+}
+
+bool Frontend::popContext() {
+  if (Contexts.empty())
+    return false;
+  Graph.restore(Contexts.back().GraphState);
+  Eng.restore(Contexts.back().EngineState);
+  Contexts.pop_back();
+  return true;
+}
+
+bool Frontend::execPush(const SExpr &Form) {
+  int64_t Count = 1;
+  if (Form.size() >= 2) {
+    if (!Form[1].isInteger() || Form[1].IntValue < 1)
+      return fail(Form, "usage: (push) or (push n)");
+    Count = Form[1].IntValue;
+  }
+  for (int64_t I = 0; I < Count; ++I)
+    pushContext();
+  return true;
+}
+
+bool Frontend::execPop(const SExpr &Form) {
+  int64_t Count = 1;
+  if (Form.size() >= 2) {
+    if (!Form[1].isInteger() || Form[1].IntValue < 1)
+      return fail(Form, "usage: (pop) or (pop n)");
+    Count = Form[1].IntValue;
+  }
+  // Check up front so a failing (pop n) is atomic: it must not consume
+  // the contexts that do exist before reporting the error.
+  if (static_cast<size_t>(Count) > Contexts.size())
+    return fail(Form, "(pop) without a matching (push)");
+  for (int64_t I = 0; I < Count; ++I)
+    popContext();
   return true;
 }
 

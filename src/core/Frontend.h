@@ -18,6 +18,11 @@
 /// Rules are statically typechecked (§5.2: "egglog prevents common errors
 /// by statically typechecking rules").
 ///
+/// Phasing commands: (ruleset name) declares a ruleset, rules join one via
+/// :ruleset, (run name n) runs one, (run-schedule ...) interprets a
+/// saturate/seq/repeat schedule tree, and (push)/(pop) enter and abandon
+/// database contexts (snapshot/restore of the whole engine state).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EGGLOG_CORE_FRONTEND_H
@@ -65,6 +70,17 @@ public:
   /// creating terms; returns false if it is not present.
   bool evalGround(std::string_view ExprSource, Value &Out);
 
+  /// Enters a new database context (the (push) command): snapshots the
+  /// EGraph and Engine so a later popContext() restores them exactly.
+  void pushContext();
+
+  /// Abandons the innermost context (the (pop) command); returns false if
+  /// no context is open.
+  bool popContext();
+
+  /// Number of open contexts.
+  size_t contextDepth() const { return Contexts.size(); }
+
 private:
   EGraph Graph;
   Engine Eng;
@@ -72,6 +88,14 @@ private:
   RunReport LastRun;
   std::string ErrorMsg;
   std::vector<std::string> Outputs;
+
+  /// The (push)/(pop) context stack: paired snapshots of the database and
+  /// the engine-side rule state.
+  struct SavedContext {
+    EGraph::Snapshot GraphState;
+    Engine::Snapshot EngineState;
+  };
+  std::vector<SavedContext> Contexts;
 
   //===--- typechecking context ------------------------------------------===
 
@@ -112,12 +136,31 @@ private:
   bool execRewrite(const SExpr &Form, bool Bidirectional);
   bool execDefine(const SExpr &Form);
   bool execRun(const SExpr &Form);
+  bool execRuleset(const SExpr &Form);
+  bool execRunSchedule(const SExpr &Form);
+  bool execPush(const SExpr &Form);
+  bool execPop(const SExpr &Form);
   bool execCheck(const SExpr &Form, bool ExpectFailure);
   bool execExtract(const SExpr &Form);
   bool execTopLevelAction(const SExpr &Form);
 
   bool makeRewriteRule(const SExpr &Lhs, const SExpr &Rhs,
-                       const SExpr *WhenList, const std::string &Name);
+                       const SExpr *WhenList, const std::string &Name,
+                       RulesetId Ruleset);
+
+  /// Resolves a :ruleset keyword value (or a bare ruleset name).
+  bool parseRulesetName(const SExpr &Node, RulesetId &Out);
+
+  /// Parses one schedule node of (run-schedule ...): a bare ruleset name,
+  /// (run [ruleset] [n] [:until (facts...)]), (saturate s...), (seq s...),
+  /// or (repeat n s...).
+  bool parseSchedule(const SExpr &Node, Schedule &Out);
+
+  /// Parses the operands of a (run ...) form into a Run leaf, shared by
+  /// the top-level command and the schedule grammar (which differ only in
+  /// the default iteration count, applied by the caller when \p HasCount
+  /// comes back false).
+  bool parseRunLeaf(const SExpr &Form, Schedule &Out, bool &HasCount);
 
   //===--- typechecking helpers ------------------------------------------===
 

@@ -283,40 +283,67 @@ void egglog::registerBuiltinPrimitives(PrimitiveRegistry &R) {
   // Guaranteed lower/upper bounds for sqrt and cbrt, used by the interval
   // analysis rules of Fig. 10. Results are rounded outward to dyadics so
   // chained interval arithmetic stays cheap.
-  prim(R, "sqrt-lo", {Rat}, Rat, [](EGraph &G, const Value *A, Value &Out) {
-    const Rational &X = G.valueToRational(A[0]);
-    if (X.isNegative())
-      return false;
-    Out = G.mkRational(X.roundDown().sqrtLower(30).roundDown());
-    return true;
-  });
-  prim(R, "sqrt-hi", {Rat}, Rat, [](EGraph &G, const Value *A, Value &Out) {
-    const Rational &X = G.valueToRational(A[0]);
-    if (X.isNegative())
-      return false;
-    Out = G.mkRational(X.roundUp().sqrtUpper(30).roundUp());
-    return true;
-  });
-  prim(R, "cbrt-lo", {Rat}, Rat, [](EGraph &G, const Value *A, Value &Out) {
-    Out = G.mkRational(
-        G.valueToRational(A[0]).roundDown().cbrtLower(30).roundDown());
-    return true;
-  });
-  prim(R, "cbrt-hi", {Rat}, Rat, [](EGraph &G, const Value *A, Value &Out) {
-    Out = G.mkRational(
-        G.valueToRational(A[0]).roundUp().cbrtUpper(30).roundUp());
-    return true;
-  });
+  //
+  // All interval primitives give up (failing the match, which abandons the
+  // analysis fact — always sound, guards simply do not fire) once a
+  // magnitude is astronomically large. Without the cap, saturating the
+  // analysis over deep product terms (x^2, x^4, ... from the flip
+  // rewrites) chains dyadics whose widths double per term level, and a
+  // single iteration can take minutes of BigInt arithmetic.
+  auto TooWide = [](const Rational &X) {
+    return X.numerator().bitWidth() > 1024 ||
+           X.denominator().bitWidth() > 1024;
+  };
+  prim(R, "sqrt-lo", {Rat}, Rat,
+       [TooWide](EGraph &G, const Value *A, Value &Out) {
+         const Rational &X = G.valueToRational(A[0]);
+         if (X.isNegative() || TooWide(X))
+           return false;
+         Out = G.mkRational(X.roundDown().sqrtLower(30).roundDown());
+         return true;
+       });
+  prim(R, "sqrt-hi", {Rat}, Rat,
+       [TooWide](EGraph &G, const Value *A, Value &Out) {
+         const Rational &X = G.valueToRational(A[0]);
+         if (X.isNegative() || TooWide(X))
+           return false;
+         Out = G.mkRational(X.roundUp().sqrtUpper(30).roundUp());
+         return true;
+       });
+  prim(R, "cbrt-lo", {Rat}, Rat,
+       [TooWide](EGraph &G, const Value *A, Value &Out) {
+         const Rational &X = G.valueToRational(A[0]);
+         if (TooWide(X))
+           return false;
+         Out = G.mkRational(X.roundDown().cbrtLower(30).roundDown());
+         return true;
+       });
+  prim(R, "cbrt-hi", {Rat}, Rat,
+       [TooWide](EGraph &G, const Value *A, Value &Out) {
+         const Rational &X = G.valueToRational(A[0]);
+         if (TooWide(X))
+           return false;
+         Out = G.mkRational(X.roundUp().cbrtUpper(30).roundUp());
+         return true;
+       });
   // Outward rounding for interval endpoints (sound: lo rounds down, hi
   // rounds up).
-  prim(R, "round-lo", {Rat}, Rat, [](EGraph &G, const Value *A, Value &Out) {
-    Out = G.mkRational(G.valueToRational(A[0]).roundDown());
-    return true;
-  });
-  prim(R, "round-hi", {Rat}, Rat, [](EGraph &G, const Value *A, Value &Out) {
-    Out = G.mkRational(G.valueToRational(A[0]).roundUp());
-    return true;
-  });
+  prim(R, "round-lo", {Rat}, Rat,
+       [TooWide](EGraph &G, const Value *A, Value &Out) {
+         const Rational &X = G.valueToRational(A[0]);
+         if (TooWide(X))
+           return false;
+         Out = G.mkRational(X.roundDown());
+         return true;
+       });
+  prim(R, "round-hi", {Rat}, Rat,
+       [TooWide](EGraph &G, const Value *A, Value &Out) {
+         const Rational &X = G.valueToRational(A[0]);
+         if (TooWide(X))
+           return false;
+         Out = G.mkRational(X.roundUp());
+         return true;
+       });
   prim(R, "to-f64", {Rat}, F64, [](EGraph &G, const Value *A, Value &Out) {
     Out = G.mkF64(G.valueToRational(A[0]).toDouble());
     return true;

@@ -59,6 +59,22 @@ public:
 
   size_t size() const { return Prims.size(); }
 
+  /// Drops every primitive with id >= \p Count (pop of a push/pop context;
+  /// e.g. the overloads registered for a set sort declared since the push).
+  void truncate(size_t Count) {
+    if (Count >= Prims.size())
+      return;
+    for (size_t Id = Count; Id < Prims.size(); ++Id) {
+      auto It = ByName.find(Prims[Id].Name);
+      if (It == ByName.end())
+        continue;
+      std::erase_if(It->second, [Count](uint32_t P) { return P >= Count; });
+      if (It->second.empty())
+        ByName.erase(It);
+    }
+    Prims.resize(Count);
+  }
+
 private:
   std::vector<Primitive> Prims;
   std::unordered_map<std::string, std::vector<uint32_t>> ByName;

@@ -104,6 +104,15 @@ public:
 
   size_t size() const { return Infos.size(); }
 
+  /// Drops every sort with id >= \p Count (pop of a push/pop context; sorts
+  /// are declared append-only so a prefix is always a valid table).
+  void truncate(size_t Count) {
+    assert(Count >= FirstDynamicSort && "cannot drop the base sorts");
+    for (size_t Id = Count; Id < Infos.size(); ++Id)
+      ByName.erase(Infos[Id].Name);
+    Infos.resize(Count);
+  }
+
 private:
   std::vector<SortInfo> Infos;
   std::unordered_map<std::string, SortId> ByName;

@@ -193,6 +193,48 @@ bool Table::erase(const Value *Keys) {
   return true;
 }
 
+Table::Snapshot Table::snapshot() const {
+  Snapshot S;
+  S.Rows = Stamps.size();
+  S.NumLive = NumLive;
+  S.Kills = Kills;
+  S.StampsSorted = StampsSorted;
+  S.Live = Live;
+  return S;
+}
+
+void Table::restore(const Snapshot &S) {
+  assert(S.Rows <= Stamps.size() && "snapshot is from a different table");
+  Cells.resize(S.Rows * rowWidth());
+  Stamps.resize(S.Rows);
+  Live = S.Live;
+  NumLive = S.NumLive;
+  Kills = S.Kills;
+  StampsSorted = S.StampsSorted;
+  ++Version;
+
+  // Rebuild the open-addressing key index from the restored live rows.
+  size_t MinSlots = 16;
+  while (NumLive * 10 >= MinSlots * 7)
+    MinSlots *= 2;
+  Slots.assign(MinSlots, 0);
+  SlotMask = Slots.size() - 1;
+  for (size_t Row = 0; Row < S.Rows; ++Row) {
+    if (!Live[Row])
+      continue;
+    uint64_t Hash = hashKeys(row(Row));
+    size_t Slot = Hash & SlotMask;
+    while (Slots[Slot] != 0)
+      Slot = (Slot + 1) & SlotMask;
+    Slots[Slot] = Row + 1;
+  }
+
+  // Resurrected rows violate the indexes' "rows only die" refresh
+  // assumption, so drop every cached column index outright.
+  if (Indexes)
+    Indexes->invalidate();
+}
+
 void Table::clear() {
   Cells.clear();
   Stamps.clear();

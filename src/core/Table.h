@@ -130,6 +130,26 @@ public:
   /// Clears all rows (used by `pop`-less resets in tests).
   void clear();
 
+  /// A frozen view of the table for push/pop contexts. Rows are append-only
+  /// and cells/stamps of existing rows never change, so the snapshot is the
+  /// row count plus a copy of the liveness bitmap (rows live at the
+  /// snapshot can only be killed afterwards, never edited).
+  struct Snapshot {
+    size_t Rows = 0;
+    size_t NumLive = 0;
+    uint64_t Kills = 0;
+    bool StampsSorted = true;
+    std::vector<bool> Live;
+  };
+
+  Snapshot snapshot() const;
+
+  /// Restores the exact live content captured by \p S: rows appended since
+  /// are truncated, rows killed since are resurrected, and the key index is
+  /// rebuilt. Cached column indexes are invalidated (resurrection breaks
+  /// their monotone-death refresh assumption).
+  void restore(const Snapshot &S);
+
 private:
   unsigned NumKeys;
   std::vector<Value> Cells;

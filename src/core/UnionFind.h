@@ -68,6 +68,24 @@ public:
   /// Total number of effective (class-merging) unions performed.
   uint64_t unionCount() const { return UnionCount; }
 
+  /// A frozen copy of the equivalence relation, for push/pop contexts.
+  /// Path compression makes an undo log unsound to replay (compressed
+  /// parent edges can reference unions that are later undone), so the
+  /// snapshot stores the parent array itself.
+  struct Snapshot {
+    std::vector<uint64_t> Parents;
+    uint64_t UnionCount = 0;
+  };
+
+  Snapshot snapshot() const { return Snapshot{Parents, UnionCount}; }
+
+  /// Restores the relation captured by \p S exactly: ids created since are
+  /// forgotten and every union since is undone.
+  void restore(const Snapshot &S) {
+    Parents = S.Parents;
+    UnionCount = S.UnionCount;
+  }
+
 private:
   mutable std::vector<uint64_t> Parents;
   uint64_t UnionCount = 0;

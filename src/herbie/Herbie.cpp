@@ -58,14 +58,21 @@ HerbieResult egglog::herbie::improveExpression(const Benchmark &Bench,
     return Result;
   }
 
-  RunOptions RunOpts;
-  RunOpts.Iterations = Options.Iterations;
+  RunOptions &RunOpts = F.runOptions();
   RunOpts.NodeLimit = Options.NodeLimit;
   RunOpts.TimeoutSeconds = Options.TimeoutSeconds;
   // Herbie runs its EqSat under egg's BackOff scheduler; without it the
   // associativity/distributivity birewrites explode.
   RunOpts.UseBackoff = true;
-  RunReport Report = F.engine().run(RunOpts);
+  // The phased two-ruleset schedule of §6: saturate the lattice analyses
+  // so every guard sees the tightest facts available, then grow terms by
+  // one rewrite iteration, and repeat. NodeLimit bounds each leaf;
+  // TimeoutSeconds budgets the whole schedule.
+  if (!F.execute(herbiePhasedSchedule(Options.Iterations))) {
+    Result.FailureReason = "schedule failed: " + F.error();
+    return Result;
+  }
+  const RunReport &Report = F.lastRun();
   Result.IterationsRun = static_cast<unsigned>(Report.Iterations.size());
   Result.ENodes = F.graph().liveTupleCount();
 

@@ -10,7 +10,11 @@ using namespace egglog;
 
 namespace {
 
-/// The Math datatype shared by both modes.
+/// The Math datatype shared by both modes, plus the two rulesets the
+/// phased schedule alternates between: `analysis` (the interval and
+/// not-equal lattice rules, cheap and convergent, saturated between
+/// phases) and `rewrites` (the term-growing equality-saturation rules,
+/// run one iteration per phase under BackOff).
 const char *Datatype = R"(
   (datatype Math
     (MNum Rational)
@@ -24,6 +28,8 @@ const char *Datatype = R"(
     (MCbrt Math)
     (MFabs Math)
     (MFma Math Math Math))
+  (ruleset analysis)
+  (ruleset rewrites)
 )";
 
 /// The interval analysis of Fig. 10: lo is a max-lattice, hi a min-lattice,
@@ -32,27 +38,35 @@ const char *IntervalAnalysis = R"(
   (function lo (Math) Rational :merge (max old new))
   (function hi (Math) Rational :merge (min old new))
 
-  (rule ((= e (MNum n))) ((set (lo e) n) (set (hi e) n)))
+  (rule ((= e (MNum n))) ((set (lo e) n) (set (hi e) n))
+        :ruleset analysis)
 
   (rule ((= e (MAdd a b)) (= (lo a) la) (= (lo b) lb))
-        ((set (lo e) (round-lo (+ la lb)))))
+        ((set (lo e) (round-lo (+ la lb))))
+        :ruleset analysis)
   (rule ((= e (MAdd a b)) (= (hi a) ha) (= (hi b) hb))
-        ((set (hi e) (round-hi (+ ha hb)))))
+        ((set (hi e) (round-hi (+ ha hb))))
+        :ruleset analysis)
 
   (rule ((= e (MSub a b)) (= (lo a) la) (= (hi b) hb))
-        ((set (lo e) (round-lo (- la hb)))))
+        ((set (lo e) (round-lo (- la hb))))
+        :ruleset analysis)
   (rule ((= e (MSub a b)) (= (hi a) ha) (= (lo b) lb))
-        ((set (hi e) (round-hi (- ha lb)))))
+        ((set (hi e) (round-hi (- ha lb))))
+        :ruleset analysis)
 
-  (rule ((= e (MNeg a)) (= (hi a) ha)) ((set (lo e) (neg ha))))
-  (rule ((= e (MNeg a)) (= (lo a) la)) ((set (hi e) (neg la))))
+  (rule ((= e (MNeg a)) (= (hi a) ha)) ((set (lo e) (neg ha)))
+        :ruleset analysis)
+  (rule ((= e (MNeg a)) (= (lo a) la)) ((set (hi e) (neg la)))
+        :ruleset analysis)
 
   (rule ((= e (MMul a b))
          (= (lo a) la) (= (hi a) ha) (= (lo b) lb) (= (hi b) hb))
         ((let p1 (* la lb)) (let p2 (* la hb))
          (let p3 (* ha lb)) (let p4 (* ha hb))
          (set (lo e) (round-lo (min (min p1 p2) (min p3 p4))))
-         (set (hi e) (round-hi (max (max p1 p2) (max p3 p4))))))
+         (set (hi e) (round-hi (max (max p1 p2) (max p3 p4)))))
+        :ruleset analysis)
 
   ;; Division propagates only when the denominator interval excludes zero.
   (rule ((= e (MDiv a b))
@@ -61,33 +75,43 @@ const char *IntervalAnalysis = R"(
         ((let p1 (/ la lb)) (let p2 (/ la hb))
          (let p3 (/ ha lb)) (let p4 (/ ha hb))
          (set (lo e) (round-lo (min (min p1 p2) (min p3 p4))))
-         (set (hi e) (round-hi (max (max p1 p2) (max p3 p4))))))
+         (set (hi e) (round-hi (max (max p1 p2) (max p3 p4)))))
+        :ruleset analysis)
   (rule ((= e (MDiv a b))
          (= (lo a) la) (= (hi a) ha) (= (lo b) lb) (= (hi b) hb)
          (< hb (rational 0 1)))
         ((let p1 (/ la lb)) (let p2 (/ la hb))
          (let p3 (/ ha lb)) (let p4 (/ ha hb))
          (set (lo e) (round-lo (min (min p1 p2) (min p3 p4))))
-         (set (hi e) (round-hi (max (max p1 p2) (max p3 p4))))))
+         (set (hi e) (round-hi (max (max p1 p2) (max p3 p4)))))
+        :ruleset analysis)
 
   ;; Fig. 10 verbatim: sqrt of anything is non-negative, and sqrt is
   ;; monotone, so bounds propagate through guaranteed rational bounds.
   (rule ((= e (MSqrt a)))
-        ((set (lo e) (rational 0 1))))
+        ((set (lo e) (rational 0 1)))
+        :ruleset analysis)
   (rule ((= e (MSqrt a)) (= (lo a) la) (>= la (rational 0 1)))
-        ((set (lo e) (sqrt-lo la))))
+        ((set (lo e) (sqrt-lo la)))
+        :ruleset analysis)
   (rule ((= e (MSqrt a)) (= (hi a) ha) (>= ha (rational 0 1)))
-        ((set (hi e) (sqrt-hi ha))))
+        ((set (hi e) (sqrt-hi ha)))
+        :ruleset analysis)
 
   ;; cbrt is monotone on all of R.
-  (rule ((= e (MCbrt a)) (= (lo a) la)) ((set (lo e) (cbrt-lo la))))
-  (rule ((= e (MCbrt a)) (= (hi a) ha)) ((set (hi e) (cbrt-hi ha))))
+  (rule ((= e (MCbrt a)) (= (lo a) la)) ((set (lo e) (cbrt-lo la)))
+        :ruleset analysis)
+  (rule ((= e (MCbrt a)) (= (hi a) ha)) ((set (hi e) (cbrt-hi ha)))
+        :ruleset analysis)
 
-  (rule ((= e (MFabs a))) ((set (lo e) (rational 0 1))))
+  (rule ((= e (MFabs a))) ((set (lo e) (rational 0 1)))
+        :ruleset analysis)
   (rule ((= e (MFabs a)) (= (lo a) la) (= (hi a) ha))
-        ((set (hi e) (max (abs la) (abs ha)))))
+        ((set (hi e) (max (abs la) (abs ha))))
+        :ruleset analysis)
   (rule ((= e (MFabs a)) (= (lo a) la) (>= la (rational 0 1)))
-        ((set (lo e) la)))
+        ((set (lo e) la))
+        :ruleset analysis)
 )";
 
 /// The "not equals to" analysis (§6.2): derives disequalities from
@@ -98,81 +122,94 @@ const char *NeqAnalysis = R"(
   (relation nonzero (Math))
 
   ;; A term whose interval excludes zero is nonzero.
-  (rule ((= (lo e) l) (> l (rational 0 1))) ((nonzero e)))
-  (rule ((= (hi e) h) (< h (rational 0 1))) ((nonzero e)))
+  (rule ((= (lo e) l) (> l (rational 0 1))) ((nonzero e))
+        :ruleset analysis)
+  (rule ((= (hi e) h) (< h (rational 0 1))) ((nonzero e))
+        :ruleset analysis)
 
   ;; x - y bounded away from zero proves x != y.
-  (rule ((= e (MSub x y)) (= (lo e) l) (> l (rational 0 1))) ((neq x y)))
-  (rule ((= e (MSub x y)) (= (hi e) h) (< h (rational 0 1))) ((neq x y)))
-  (rule ((neq x y)) ((neq y x)))
+  (rule ((= e (MSub x y)) (= (lo e) l) (> l (rational 0 1))) ((neq x y))
+        :ruleset analysis)
+  (rule ((= e (MSub x y)) (= (hi e) h) (< h (rational 0 1))) ((neq x y))
+        :ruleset analysis)
+  (rule ((neq x y)) ((neq y x))
+        :ruleset analysis)
 
   ;; Injectivity: a != b implies cbrt a != cbrt b and sqrt a != sqrt b
   ;; (the paper's 3sqrt(v+1) != 3sqrt(v) step).
-  (rule ((neq x y) (= a (MCbrt x)) (= b (MCbrt y))) ((neq a b)))
-  (rule ((neq x y) (= a (MSqrt x)) (= b (MSqrt y))) ((neq a b)))
+  (rule ((neq x y) (= a (MCbrt x)) (= b (MCbrt y))) ((neq a b))
+        :ruleset analysis)
+  (rule ((neq x y) (= a (MSqrt x)) (= b (MSqrt y))) ((neq a b))
+        :ruleset analysis)
 
   ;; x != y makes x - y nonzero (used by the flip guards).
-  (rule ((neq x y) (= e (MSub x y))) ((nonzero e)))
+  (rule ((neq x y) (= e (MSub x y))) ((nonzero e))
+        :ruleset analysis)
 
   ;; Demand: comparing two roots requires comparing their radicands, so
   ;; materialize the difference term the interval rules will then bound
   ;; (this is how 3sqrt(v+1) - 3sqrt(v) obtains v+1 != v: the rewrite
   ;; chain proves (v+1) - v = 1, whose interval excludes zero).
-  (rule ((= e (MSub (MCbrt x) (MCbrt y)))) ((MSub x y)))
-  (rule ((= e (MSub (MSqrt x) (MSqrt y)))) ((MSub x y)))
+  (rule ((= e (MSub (MCbrt x) (MCbrt y)))) ((MSub x y))
+        :ruleset analysis)
+  (rule ((= e (MSub (MSqrt x) (MSqrt y)))) ((MSub x y))
+        :ruleset analysis)
 )";
 
 /// Rewrites that are sound over the reals without side conditions.
 const char *SafeRewrites = R"(
-  (rewrite (MAdd a b) (MAdd b a))
-  (rewrite (MMul a b) (MMul b a))
-  (birewrite (MAdd (MAdd a b) c) (MAdd a (MAdd b c)))
-  (birewrite (MMul (MMul a b) c) (MMul a (MMul b c)))
-  (birewrite (MSub a b) (MAdd a (MNeg b)))
-  (rewrite (MNeg (MNeg a)) a)
-  (birewrite (MMul a (MAdd b c)) (MAdd (MMul a b) (MMul a c)))
-  (birewrite (MDiv (MMul a b) c) (MMul a (MDiv b c)))
-  (birewrite (MDiv (MAdd a b) c) (MAdd (MDiv a c) (MDiv b c)))
-  (birewrite (MAdd (MMul a b) c) (MFma a b c))
-  (rewrite (MAdd a (MNum (rational 0 1))) a)
-  (rewrite (MMul a (MNum (rational 1 1))) a)
-  (rewrite (MMul a (MNum (rational 0 1))) (MNum (rational 0 1)))
-  (rewrite (MNeg a) (MMul (MNum (rational -1 1)) a))
-  (rewrite (MSub a a) (MNum (rational 0 1)))
+  (rewrite (MAdd a b) (MAdd b a) :ruleset rewrites)
+  (rewrite (MMul a b) (MMul b a) :ruleset rewrites)
+  (birewrite (MAdd (MAdd a b) c) (MAdd a (MAdd b c)) :ruleset rewrites)
+  (birewrite (MMul (MMul a b) c) (MMul a (MMul b c)) :ruleset rewrites)
+  (birewrite (MSub a b) (MAdd a (MNeg b)) :ruleset rewrites)
+  (rewrite (MNeg (MNeg a)) a :ruleset rewrites)
+  (birewrite (MMul a (MAdd b c)) (MAdd (MMul a b) (MMul a c))
+             :ruleset rewrites)
+  (birewrite (MDiv (MMul a b) c) (MMul a (MDiv b c)) :ruleset rewrites)
+  (birewrite (MDiv (MAdd a b) c) (MAdd (MDiv a c) (MDiv b c))
+             :ruleset rewrites)
+  (birewrite (MAdd (MMul a b) c) (MFma a b c) :ruleset rewrites)
+  (rewrite (MAdd a (MNum (rational 0 1))) a :ruleset rewrites)
+  (rewrite (MMul a (MNum (rational 1 1))) a :ruleset rewrites)
+  (rewrite (MMul a (MNum (rational 0 1))) (MNum (rational 0 1))
+           :ruleset rewrites)
+  (rewrite (MNeg a) (MMul (MNum (rational -1 1)) a) :ruleset rewrites)
+  (rewrite (MSub a a) (MNum (rational 0 1)) :ruleset rewrites)
   ;; cube of a cube root cancels unconditionally (odd function).
-  (rewrite (MMul (MCbrt a) (MMul (MCbrt a) (MCbrt a))) a)
+  (rewrite (MMul (MCbrt a) (MMul (MCbrt a) (MCbrt a))) a :ruleset rewrites)
   ;; constant folding through exact rationals
-  (rewrite (MAdd (MNum a) (MNum b)) (MNum (+ a b)))
-  (rewrite (MSub (MNum a) (MNum b)) (MNum (- a b)))
-  (rewrite (MMul (MNum a) (MNum b)) (MNum (* a b)))
-  (rewrite (MNeg (MNum a)) (MNum (neg a)))
+  (rewrite (MAdd (MNum a) (MNum b)) (MNum (+ a b)) :ruleset rewrites)
+  (rewrite (MSub (MNum a) (MNum b)) (MNum (- a b)) :ruleset rewrites)
+  (rewrite (MMul (MNum a) (MNum b)) (MNum (* a b)) :ruleset rewrites)
+  (rewrite (MNeg (MNum a)) (MNum (neg a)) :ruleset rewrites)
   (rewrite (MDiv (MNum a) (MNum b)) (MNum (/ a b))
-           :when ((!= b (rational 0 1))))
+           :when ((!= b (rational 0 1))) :ruleset rewrites)
 )";
 
 /// The conditionally sound rewrites. %GUARD-...% placeholders are replaced
 /// with real guards (sound) or dropped (unsound).
 const char *GuardedRewrites = R"(
   ;; x / x -> 1, the paper's flagship example (sound iff x != 0).
-  (rewrite (MDiv x x) (MNum (rational 1 1)) %GUARD-NZ-X%)
+  (rewrite (MDiv x x) (MNum (rational 1 1)) %GUARD-NZ-X% :ruleset rewrites)
   ;; b * (a / b) -> a (Fig. 9a's fraction family).
-  (rewrite (MMul b (MDiv a b)) a %GUARD-NZ-B%)
+  (rewrite (MMul b (MDiv a b)) a %GUARD-NZ-B% :ruleset rewrites)
   ;; sqrt(x) * sqrt(x) -> x (sound iff x >= 0).
-  (rewrite (MMul (MSqrt x) (MSqrt x)) x %GUARD-NONNEG-X%)
+  (rewrite (MMul (MSqrt x) (MSqrt x)) x %GUARD-NONNEG-X% :ruleset rewrites)
   ;; Difference of squares: x - y -> (x^2 - y^2) / (x + y),
   ;; sound iff x + y != 0; proved from x > 0 and y >= 0 (or symmetrically).
   (rewrite (MSub x y)
            (MDiv (MSub (MMul x x) (MMul y y)) (MAdd x y))
-           %GUARD-SUM-NZ%)
+           %GUARD-SUM-NZ% :ruleset rewrites)
   (rewrite (MSub x y)
            (MDiv (MSub (MMul x x) (MMul y y)) (MAdd x y))
-           %GUARD-SUM-NZ2%)
+           %GUARD-SUM-NZ2% :ruleset rewrites)
   ;; Fig. 9b: x - y -> (x^3 - y^3) / (x^2 + xy + y^2),
   ;; sound iff x != 0 or y != 0; x != y implies that.
   (rewrite (MSub x y)
            (MDiv (MSub (MMul x (MMul x x)) (MMul y (MMul y y)))
                  (MAdd (MMul x x) (MAdd (MMul x y) (MMul y y))))
-           %GUARD-NEQ-XY%)
+           %GUARD-NEQ-XY% :ruleset rewrites)
 )";
 
 void replaceAll(std::string &Text, const std::string &From,
@@ -215,10 +252,18 @@ std::string egglog::herbie::herbieProgramText(bool Sound) {
     replaceAll(Guarded,
                "(rewrite (MSub x y)\n"
                "           (MDiv (MSub (MMul x x) (MMul y y)) (MAdd x y))\n"
-               "           %GUARD-SUM-NZ2%)",
+               "           %GUARD-SUM-NZ2% :ruleset rewrites)",
                "");
     replaceAll(Guarded, "%GUARD-NEQ-XY%", "");
   }
   Program += Guarded;
   return Program;
+}
+
+std::string egglog::herbie::herbiePhasedSchedule(unsigned Phases) {
+  // One phase = saturate the cheap lattice analyses (so guards see the
+  // tightest intervals/disequalities available), then grow terms by one
+  // rewrite iteration. Mirrors the Herbie case study's alternation (§6).
+  return "(run-schedule (repeat " + std::to_string(Phases) +
+         " (saturate analysis) (run rewrites 1)))";
 }

@@ -26,8 +26,15 @@ namespace herbie {
 /// Returns the complete egglog program text (datatype + analyses + rules).
 /// With \p Sound, analyses and guarded rewrites are emitted; without, the
 /// unsound unguarded ruleset is emitted and the analyses are omitted
-/// (matching Herbie-without-egglog).
+/// (matching Herbie-without-egglog). The program declares two rulesets:
+/// `analysis` (interval + not-equal lattice rules) and `rewrites` (the
+/// term-growing equality-saturation rules), for phased scheduling.
 std::string herbieProgramText(bool Sound);
+
+/// Returns the (run-schedule ...) command text for \p Phases phases of the
+/// two-ruleset alternation: saturate `analysis`, then one iteration of
+/// `rewrites`, repeated.
+std::string herbiePhasedSchedule(unsigned Phases);
 
 } // namespace herbie
 } // namespace egglog

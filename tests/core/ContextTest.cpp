@@ -1,0 +1,265 @@
+//===- tests/core/ContextTest.cpp - Push/pop context tests -----------------===//
+//
+// Part of egglog-cpp. Tests for (push)/(pop) database contexts: snapshots
+// must be exact — after a pop, the live content hash, counts, and every
+// declaration match the pre-push state, no matter what ran in between.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace egglog;
+
+namespace {
+
+/// Everything that must round-trip across push/pop, in one comparable bag.
+struct StateFingerprint {
+  uint64_t ContentHash;
+  size_t LiveTuples;
+  uint64_t Unions;
+  size_t Functions;
+  size_t Sorts;
+  size_t Rules;
+  size_t Rulesets;
+
+  bool operator==(const StateFingerprint &) const = default;
+};
+
+StateFingerprint fingerprint(Frontend &F) {
+  return StateFingerprint{F.graph().liveContentHash(),
+                          F.graph().liveTupleCount(),
+                          F.graph().unionFind().unionCount(),
+                          F.graph().numFunctions(),
+                          F.graph().sorts().size(),
+                          F.engine().numRules(),
+                          F.engine().numRulesets()};
+}
+
+} // namespace
+
+TEST(ContextTest, PopRestoresExactContentHash) {
+  // The acceptance criterion: hash after pop == hash before push, even
+  // after runs that grew tables and indexes in between.
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (datatype Math (Num i64) (Add Math Math) (Mul Math Math))
+    (rewrite (Add a b) (Add b a))
+    (rewrite (Add (Num x) (Num y)) (Num (+ x y)))
+    (define e (Add (Num 1) (Add (Num 2) (Num 3))))
+    (run 3)
+  )")) << F.error();
+  StateFingerprint Before = fingerprint(F);
+
+  ASSERT_TRUE(F.execute(R"(
+    (push)
+    (define f (Mul e (Add (Num 4) (Num 5))))
+    (rewrite (Mul a b) (Mul b a))
+    (run 5)
+    (check (= f (Mul (Add (Num 4) (Num 5)) e)))
+    (pop)
+  )")) << F.error();
+
+  EXPECT_EQ(fingerprint(F), Before);
+  // The abandoned work is really gone.
+  Value Out;
+  EXPECT_FALSE(F.evalGround("f", Out));
+  // And the database still works: the pre-push rules keep running.
+  ASSERT_TRUE(F.execute("(run 3) (check (= e (Num 6)))")) << F.error();
+}
+
+TEST(ContextTest, PopUndoesUnionsExactly) {
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (sort N)
+    (function mk (i64) N)
+    (relation edge (N N))
+    (relation path (N N))
+    (rule ((edge x y)) ((path x y)))
+    (rule ((path x y) (edge y z)) ((path x z)))
+    (edge (mk 1) (mk 2))
+    (edge (mk 3) (mk 4))
+    (run)
+  )")) << F.error();
+  StateFingerprint Before = fingerprint(F);
+
+  ASSERT_TRUE(F.execute(R"(
+    (push)
+    (union (mk 2) (mk 3))
+    (run)
+    (check (path (mk 1) (mk 4)))
+    (pop)
+    (check-fail (path (mk 1) (mk 4)))
+  )")) << F.error();
+  EXPECT_EQ(fingerprint(F), Before);
+
+  // Entering the context again must behave identically (speculation is
+  // repeatable).
+  ASSERT_TRUE(F.execute(R"(
+    (push)
+    (union (mk 2) (mk 3))
+    (run)
+    (check (path (mk 1) (mk 4)))
+    (pop)
+  )")) << F.error();
+  EXPECT_EQ(fingerprint(F), Before);
+}
+
+TEST(ContextTest, DeclarationsInsideContextAreDropped) {
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (relation r (i64))
+    (r 1)
+    (push)
+    (sort Inner)
+    (function mkInner (i64) Inner)
+    (relation s (Inner))
+    (ruleset inner-rules)
+    (rule ((r x)) ((s (mkInner x))) :ruleset inner-rules)
+    (run inner-rules 2)
+    (check (s (mkInner 1)))
+    (pop)
+  )")) << F.error();
+  // All inner declarations are gone, so redeclaring them is legal...
+  EXPECT_TRUE(F.execute("(sort Inner)")) << F.error();
+  EXPECT_TRUE(F.execute("(ruleset inner-rules)")) << F.error();
+  // ...and the function name is free again.
+  EXPECT_TRUE(F.execute("(relation mkInner (i64))")) << F.error();
+}
+
+TEST(ContextTest, NestedContextsUnwindInOrder) {
+  Frontend F;
+  ASSERT_TRUE(F.execute("(relation r (i64)) (r 1)")) << F.error();
+  StateFingerprint Depth0 = fingerprint(F);
+  ASSERT_TRUE(F.execute("(push) (r 2)")) << F.error();
+  StateFingerprint Depth1 = fingerprint(F);
+  ASSERT_TRUE(F.execute("(push 2) (r 3) (r 4)")) << F.error();
+  EXPECT_EQ(F.contextDepth(), 3u);
+
+  ASSERT_TRUE(F.execute("(pop 2)")) << F.error();
+  EXPECT_EQ(fingerprint(F), Depth1);
+  ASSERT_TRUE(F.execute("(check (r 2)) (check-fail (r 3))")) << F.error();
+  ASSERT_TRUE(F.execute("(pop)")) << F.error();
+  EXPECT_EQ(fingerprint(F), Depth0);
+  ASSERT_TRUE(F.execute("(check (r 1)) (check-fail (r 2))")) << F.error();
+}
+
+TEST(ContextTest, PopWithoutPushIsAnError) {
+  Frontend F;
+  ASSERT_FALSE(F.execute("(pop)"));
+  EXPECT_NE(F.error().find("without a matching"), std::string::npos)
+      << F.error();
+}
+
+TEST(ContextTest, OverdrawnPopIsAtomic) {
+  // Regression: (pop n) with fewer than n open contexts must fail without
+  // consuming the contexts that do exist.
+  Frontend F;
+  ASSERT_TRUE(F.execute("(relation r (i64)) (push) (r 1)")) << F.error();
+  ASSERT_FALSE(F.execute("(pop 2)"));
+  EXPECT_EQ(F.contextDepth(), 1u);
+  // The open context is intact: its contents are still visible and a
+  // plain (pop) still abandons them.
+  EXPECT_TRUE(F.execute("(check (r 1)) (pop) (check-fail (r 1))"));
+  EXPECT_EQ(F.contextDepth(), 0u);
+}
+
+TEST(ContextTest, DeletionsInsideContextAreUndone) {
+  // Pop must resurrect rows killed inside the context, not just drop the
+  // appended ones.
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (relation r (i64))
+    (r 1) (r 2) (r 3)
+  )")) << F.error();
+  StateFingerprint Before = fingerprint(F);
+  ASSERT_TRUE(F.execute(R"(
+    (push)
+    (delete (r 2))
+    (check-fail (r 2))
+    (pop)
+    (check (r 2))
+  )")) << F.error();
+  EXPECT_EQ(fingerprint(F), Before);
+}
+
+TEST(ContextTest, MergeUpdatesInsideContextRollBack) {
+  // A lattice update kills the old row and appends a new one; pop must
+  // restore the old output exactly.
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (function best (i64) i64 :merge (max old new))
+    (set (best 0) 10)
+  )")) << F.error();
+  StateFingerprint Before = fingerprint(F);
+  ASSERT_TRUE(F.execute(R"(
+    (push)
+    (set (best 0) 99)
+    (check (= (best 0) 99))
+    (pop)
+    (check (= (best 0) 10))
+  )")) << F.error();
+  EXPECT_EQ(fingerprint(F), Before);
+}
+
+TEST(ContextTest, SemiNaiveStateSurvivesAbandonedContext) {
+  // A rule's delta bound rolls back with the context, so facts re-asserted
+  // after the pop are still found (nothing is skipped as "already seen").
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (relation edge (i64 i64))
+    (relation path (i64 i64))
+    (rule ((edge x y)) ((path x y)))
+    (rule ((path x y) (edge y z)) ((path x z)))
+    (edge 1 2)
+    (run 1)
+    (push)
+    (edge 2 3)
+    (run)
+    (check (path 1 3))
+    (pop)
+    (check-fail (path 1 3))
+    (edge 2 3)
+    (run)
+    (check (path 1 3))
+  )")) << F.error();
+}
+
+TEST(ContextTest, EGraphSnapshotRoundTripsAtTheApiLevel) {
+  // Library-level use (no Frontend): snapshot, mutate heavily, restore.
+  EGraph G;
+  SortId N = G.declareSort("N");
+  FunctionId Mk = G.declareFunction(
+      FunctionDecl{"mk", {SortTable::I64Sort}, N, std::nullopt, std::nullopt, 1});
+  for (int64_t I = 0; I < 10; ++I) {
+    Value Key = G.mkI64(I);
+    Value Out;
+    ASSERT_TRUE(G.getOrCreate(Mk, &Key, Out));
+  }
+  uint64_t HashBefore = G.liveContentHash();
+  size_t LiveBefore = G.liveTupleCount();
+
+  EGraph::Snapshot S = G.snapshot();
+  // Mutate: new terms, unions, a rebuild, and touched indexes.
+  for (int64_t I = 10; I < 50; ++I) {
+    Value Key = G.mkI64(I);
+    Value Out;
+    ASSERT_TRUE(G.getOrCreate(Mk, &Key, Out));
+  }
+  Value K0 = G.mkI64(0), K1 = G.mkI64(1);
+  Value V0 = *G.lookup(Mk, &K0), V1 = *G.lookup(Mk, &K1);
+  G.unionValues(V0, V1);
+  G.rebuild();
+  ASSERT_NE(G.liveContentHash(), HashBefore);
+
+  G.restore(S);
+  EXPECT_EQ(G.liveContentHash(), HashBefore);
+  EXPECT_EQ(G.liveTupleCount(), LiveBefore);
+  EXPECT_EQ(G.unionFind().unionCount(), 0u);
+  // The restored table is fully usable: lookups and fresh inserts work.
+  EXPECT_TRUE(G.lookup(Mk, &K0).has_value());
+  Value K99 = G.mkI64(99), Out99;
+  ASSERT_TRUE(G.getOrCreate(Mk, &K99, Out99));
+  EXPECT_EQ(G.liveTupleCount(), LiveBefore + 1);
+}

@@ -35,7 +35,7 @@ TEST(HerbieRulesTest, IntervalAnalysisProvesVPlusOneNeqV) {
     (define vp1 (MAdd v (MNum (rational 1 1))))
     (define diff (MSub vp1 v))
     (define cdiff (MSub (MCbrt vp1) (MCbrt v)))
-    (run 12)
+  )" + herbiePhasedSchedule(12) + R"(
     (check (neq vp1 v))
     (check (neq (MCbrt vp1) (MCbrt v)))
   )")) << F.error();
@@ -51,7 +51,7 @@ TEST(HerbieRulesTest, SoundGuardBlocksZeroOverZero) {
     (set (lo x) (rational -1 1))
     (set (hi x) (rational 1 1))
     (define q (MDiv x x))
-    (run 5)
+  )" + herbiePhasedSchedule(5) + R"(
     (check-fail (= q (MNum (rational 1 1))))
   )")) << F.error();
 }
@@ -65,7 +65,7 @@ TEST(HerbieRulesTest, SoundGuardAllowsSafeDivision) {
     (set (lo x) (rational 1 2))
     (set (hi x) (rational 100 1))
     (define q (MDiv x x))
-    (run 5)
+  )" + herbiePhasedSchedule(5) + R"(
     (check (= q (MNum (rational 1 1))))
   )")) << F.error();
 }
@@ -79,7 +79,7 @@ TEST(HerbieRulesTest, UnsoundRulesetMergesZeroOverZero) {
   ASSERT_TRUE(F.execute(R"(
     (define x (MVar "x"))
     (define q (MDiv x x))
-    (run 5)
+    (run rewrites 5)
     (check (= q (MNum (rational 1 1))))
   )")) << F.error();
 }
@@ -93,7 +93,7 @@ TEST(HerbieRulesTest, IntervalsTightenThroughSqrt) {
     (set (lo x) (rational 4 1))
     (set (hi x) (rational 9 1))
     (define r (MSqrt x))
-    (run 4)
+    (run-schedule (saturate analysis))
     (check (= (lo r) (rational 2 1)))
     (check (= (hi r) (rational 3 1)))
   )")) << F.error();

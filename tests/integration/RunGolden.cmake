@@ -1,0 +1,34 @@
+# RunGolden.cmake — golden-file test driver for egglog programs.
+#
+# Runs TOOL (the egglog_run binary) on PROGRAM, captures stdout to OUTPUT,
+# and compares it byte-for-byte against the checked-in EXPECTED file.
+# Invoked by the golden_* CTest entries registered in the top-level
+# CMakeLists.txt. To regenerate an expectation after an intentional change:
+#
+#   ./build/egglog_run tests/integration/programs/X.egg \
+#       > tests/integration/programs/X.expected
+
+foreach(var TOOL PROGRAM EXPECTED OUTPUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "RunGolden.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${TOOL} ${PROGRAM}
+  OUTPUT_FILE ${OUTPUT}
+  RESULT_VARIABLE run_result)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "egglog_run failed (exit ${run_result}) on ${PROGRAM}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUTPUT} ${EXPECTED}
+  RESULT_VARIABLE diff_result)
+if(NOT diff_result EQUAL 0)
+  file(READ ${EXPECTED} expected_text)
+  file(READ ${OUTPUT} actual_text)
+  message(FATAL_ERROR "golden mismatch for ${PROGRAM}\n"
+                      "--- expected (${EXPECTED}):\n${expected_text}"
+                      "--- actual (${OUTPUT}):\n${actual_text}")
+endif()
