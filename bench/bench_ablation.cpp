@@ -16,10 +16,17 @@
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <string_view>
+#include <vector>
 
 using namespace egglog;
 
 namespace {
+
+/// --full-rebuild: force every EGraph in this process onto the legacy
+/// full-sweep rebuild, so CI can record incremental-vs-sweep trajectories
+/// as two artifacts of the same binary.
+bool FullRebuildFlag = false;
 
 /// Builds an edge relation shaped like a sparse random graph.
 void populateEdges(EGraph &G, FunctionId Edge, unsigned Nodes,
@@ -79,6 +86,7 @@ void BM_TransitiveClosure(benchmark::State &State, bool SemiNaive) {
   unsigned Length = static_cast<unsigned>(State.range(0));
   for (auto _ : State) {
     Frontend F;
+    F.graph().setFullRebuild(FullRebuildFlag);
     F.runOptions().SemiNaive = SemiNaive;
     std::string Program = R"(
       (relation edge (i64 i64))
@@ -104,12 +112,18 @@ void BM_NaiveTC(benchmark::State &State) {
   BM_TransitiveClosure(State, /*SemiNaive=*/false);
 }
 
-/// Rebuild cost: N terms f(x_i), then union the x_i pairwise and rebuild.
-void BM_RebuildAfterUnions(benchmark::State &State) {
+/// Rebuild cost: N terms f(x_i), then union \p Unions of the x_i pairwise
+/// and rebuild. Unions == N/2 is a merge storm (the bulk-sweep fallback);
+/// a small fixed count is the worklist-driven sweet spot, where the old
+/// full sweep still paid O(N) per rebuild.
+void BM_Rebuild(benchmark::State &State, unsigned Unions) {
   unsigned N = static_cast<unsigned>(State.range(0));
+  if (Unions == 0)
+    Unions = N / 2;
   for (auto _ : State) {
     State.PauseTiming();
     EGraph G;
+    G.setFullRebuild(FullRebuildFlag);
     SortId S = G.declareSort("T");
     FunctionDecl Decl;
     Decl.Name = "f";
@@ -122,12 +136,19 @@ void BM_RebuildAfterUnions(benchmark::State &State) {
     Value Out;
     for (unsigned I = 0; I < N; ++I)
       G.getOrCreate(F, &Ids[I], Out);
-    for (unsigned I = 0; I + 1 < N; I += 2)
+    for (unsigned I = 0; I + 1 < N && I / 2 < Unions; I += 2)
       G.unionValues(Ids[I], Ids[I + 1]);
     State.ResumeTiming();
     G.rebuild();
     benchmark::DoNotOptimize(G.liveTupleCount());
   }
+}
+
+void BM_RebuildAfterUnions(benchmark::State &State) {
+  BM_Rebuild(State, /*Unions=*/0); // N/2: every id pair merged
+}
+void BM_RebuildSparseUnions(benchmark::State &State) {
+  BM_Rebuild(State, /*Unions=*/8); // a handful of merges in a big database
 }
 
 void BM_TableInsertLookup(benchmark::State &State) {
@@ -171,7 +192,27 @@ BENCHMARK(BM_NestedLoopTriangle)->Arg(64)->Arg(256);
 BENCHMARK(BM_SemiNaiveTC)->Arg(32)->Arg(64)->Arg(128);
 BENCHMARK(BM_NaiveTC)->Arg(32)->Arg(64);
 BENCHMARK(BM_RebuildAfterUnions)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_RebuildSparseUnions)->Arg(1000)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_TableInsertLookup)->Arg(1000)->Arg(100000);
 BENCHMARK(BM_UnionFind)->Arg(1000)->Arg(100000);
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus the --full-rebuild ablation flag (consumed here;
+// everything else is forwarded to Google Benchmark, e.g.
+// --benchmark_format=json for the CI artifacts).
+int main(int argc, char **argv) {
+  std::vector<char *> Args;
+  for (int I = 0; I < argc; ++I) {
+    if (std::string_view(argv[I]) == "--full-rebuild") {
+      FullRebuildFlag = true;
+      continue;
+    }
+    Args.push_back(argv[I]);
+  }
+  int ForwardedArgc = static_cast<int>(Args.size());
+  benchmark::Initialize(&ForwardedArgc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(ForwardedArgc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

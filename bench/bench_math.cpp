@@ -9,7 +9,7 @@
 // and report e-nodes versus cumulative time per iteration, plus the §5.3
 // headline speedups at the final iteration.
 //
-// Usage: bench_math [iterations] [node_limit]
+// Usage: bench_math [iterations] [node_limit] [--full-rebuild]
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +33,11 @@ struct Series {
   std::vector<double> CumulativeSeconds;
   /// Total seconds spent in the search phase across all iterations.
   double SearchSeconds = 0;
+  /// Total seconds spent in the rebuild phase across all iterations.
+  double RebuildSeconds = 0;
+  /// Rebuild seconds per reported iteration (merge-heavy late iterations
+  /// are where incremental rebuilding pays off; the JSON keeps the tail).
+  std::vector<double> RebuildPerIteration;
 };
 
 /// Runs the classic egg-style baseline.
@@ -63,6 +68,8 @@ Series runEgg(unsigned Iterations, size_t NodeLimit) {
   for (const classic::RunnerIteration &It : Report.Iterations) {
     Cumulative += It.SearchSeconds + It.ApplySeconds + It.RebuildSeconds;
     Result.SearchSeconds += It.SearchSeconds;
+    Result.RebuildSeconds += It.RebuildSeconds;
+    Result.RebuildPerIteration.push_back(It.RebuildSeconds);
     Result.ENodes.push_back(It.ENodes);
     Result.CumulativeSeconds.push_back(Cumulative);
   }
@@ -81,9 +88,14 @@ size_t egglogENodes(Frontend &F) {
   return Total;
 }
 
+/// --full-rebuild: run the egglog systems with the legacy full-sweep
+/// rebuild (ablation; lets one binary produce both trajectories).
+bool FullRebuildFlag = false;
+
 /// Runs the egglog engine (incremental or not).
 Series runEgglog(bool SemiNaive, unsigned Iterations, size_t NodeLimit) {
   Frontend F;
+  F.graph().setFullRebuild(FullRebuildFlag);
   if (!F.execute(bench::mathRulesEgglog()) ||
       !F.execute(bench::mathSeedsEgglog())) {
     std::fprintf(stderr, "egglog setup failed: %s\n", F.error().c_str());
@@ -99,8 +111,13 @@ Series runEgglog(bool SemiNaive, unsigned Iterations, size_t NodeLimit) {
     Timer Step;
     RunReport Report = F.engine().run(Opts);
     Cumulative += Step.seconds();
-    for (const IterationStats &Stats : Report.Iterations)
+    double StepRebuild = 0;
+    for (const IterationStats &Stats : Report.Iterations) {
       Result.SearchSeconds += Stats.SearchSeconds;
+      StepRebuild += Stats.RebuildSeconds;
+    }
+    Result.RebuildSeconds += StepRebuild;
+    Result.RebuildPerIteration.push_back(StepRebuild);
     Result.ENodes.push_back(egglogENodes(F));
     Result.CumulativeSeconds.push_back(Cumulative);
     if (Report.Saturated || egglogENodes(F) > NodeLimit)
@@ -112,12 +129,20 @@ Series runEgglog(bool SemiNaive, unsigned Iterations, size_t NodeLimit) {
 } // namespace
 
 int main(int argc, char **argv) {
-  unsigned Iterations = argc > 1 ? std::atoi(argv[1]) : 30;
-  size_t NodeLimit = argc > 2 ? std::atoll(argv[2]) : 400000;
+  std::vector<const char *> Positional;
+  for (int I = 1; I < argc; ++I) {
+    if (std::string(argv[I]) == "--full-rebuild")
+      FullRebuildFlag = true;
+    else
+      Positional.push_back(argv[I]);
+  }
+  unsigned Iterations = Positional.size() > 0 ? std::atoi(Positional[0]) : 30;
+  size_t NodeLimit =
+      Positional.size() > 1 ? std::atoll(Positional[1]) : 400000;
 
   std::printf("=== Fig. 7: math micro-benchmark (egg math suite, "
-              "BackOff scheduler, %u iterations) ===\n",
-              Iterations);
+              "BackOff scheduler, %u iterations%s) ===\n",
+              Iterations, FullRebuildFlag ? ", full-sweep rebuild" : "");
 
   Series Egg = runEgg(Iterations, NodeLimit);
   Series NI = runEgglog(/*SemiNaive=*/false, Iterations, NodeLimit);
@@ -166,15 +191,24 @@ int main(int argc, char **argv) {
   }
 
   // Machine-readable trajectory records (one JSON object per line).
+  // rebuild_tail_s sums the last 10 iterations — the merge-heavy stretch
+  // where worklist-driven rebuilding should beat the full sweep.
   auto EmitJson = [](const char *Bench, const char *System,
                      const Series &S) {
     if (S.ENodes.empty())
       return;
+    double RebuildTail = 0;
+    size_t Tail = S.RebuildPerIteration.size() > 10
+                      ? S.RebuildPerIteration.size() - 10
+                      : 0;
+    for (size_t I = Tail; I < S.RebuildPerIteration.size(); ++I)
+      RebuildTail += S.RebuildPerIteration[I];
     std::printf("{\"bench\": \"%s\", \"system\": \"%s\", \"iterations\": "
-                "%zu, \"enodes\": %zu, \"search_s\": %.6f, \"total_s\": "
-                "%.6f}\n",
+                "%zu, \"enodes\": %zu, \"search_s\": %.6f, \"rebuild_s\": "
+                "%.6f, \"rebuild_tail_s\": %.6f, \"total_s\": %.6f}\n",
                 Bench, System, S.ENodes.size(), S.ENodes.back(),
-                S.SearchSeconds, S.CumulativeSeconds.back());
+                S.SearchSeconds, S.RebuildSeconds, RebuildTail,
+                S.CumulativeSeconds.back());
   };
   EmitJson("math", "egg", Egg);
   EmitJson("math", "egglogNI", NI);

@@ -12,6 +12,22 @@
 
 using namespace egglog;
 
+namespace {
+
+/// Pops a scratch-stack frame on scope exit, whatever the return path.
+struct ScratchFrame {
+  std::vector<Value> &Stack;
+  size_t Base;
+
+  ScratchFrame(std::vector<Value> &Stack) : Stack(Stack), Base(Stack.size()) {}
+  ~ScratchFrame() { Stack.resize(Base); }
+  /// First value of the frame. Recomputed from the base index on each call
+  /// because nested frames can reallocate the stack.
+  Value *data() { return Stack.data() + Base; }
+};
+
+} // namespace
+
 EGraph::EGraph() { registerBuiltinPrimitives(Prims); }
 
 //===----------------------------------------------------------------------===
@@ -35,6 +51,26 @@ FunctionId EGraph::declareFunction(FunctionDecl Decl) {
   auto Info = std::make_unique<FunctionInfo>();
   Info->Storage = std::make_unique<Table>(Decl.ArgSorts.size());
   Info->Decl = std::move(Decl);
+
+  // Classify columns for the incremental rebuild: id-sort columns feed the
+  // table's occurrence index; container columns that (transitively) reach
+  // an id sort can hide merged ids from it and force the sweep fallback.
+  // Columns of immutable base values need neither.
+  std::vector<unsigned> IdCols;
+  unsigned NumKeys = Info->Decl.ArgSorts.size();
+  for (unsigned I = 0; I <= NumKeys; ++I) {
+    SortId S = I < NumKeys ? Info->Decl.ArgSorts[I] : Info->Decl.OutSort;
+    if (SortsTable.isIdSort(S)) {
+      IdCols.push_back(I);
+      continue;
+    }
+    while (SortsTable.kind(S) == SortKind::Set)
+      S = SortsTable.info(S).Element;
+    if (SortsTable.isIdSort(S))
+      Info->NeedsFullSweep = true;
+  }
+  Info->Storage->setIdColumns(std::move(IdCols));
+
   FunctionNames.emplace(Info->Decl.Name, Id);
   Functions.push_back(std::move(Info));
   return Id;
@@ -141,7 +177,8 @@ bool EGraph::canonicalizeRow(Value *Row, unsigned Width) {
 std::optional<Value> EGraph::lookup(FunctionId Func, const Value *Args) {
   FunctionInfo &Info = *Functions[Func];
   unsigned NumKeys = Info.numKeys();
-  std::vector<Value> Canonical(Args, Args + NumKeys);
+  ScratchFrame Canonical(KeyScratch);
+  KeyScratch.insert(KeyScratch.end(), Args, Args + NumKeys);
   canonicalizeRow(Canonical.data(), NumKeys);
   return Info.Storage->lookup(Canonical.data());
 }
@@ -149,7 +186,8 @@ std::optional<Value> EGraph::lookup(FunctionId Func, const Value *Args) {
 bool EGraph::getOrCreate(FunctionId Func, const Value *Args, Value &Out) {
   FunctionInfo &Info = *Functions[Func];
   unsigned NumKeys = Info.numKeys();
-  std::vector<Value> Canonical(Args, Args + NumKeys);
+  ScratchFrame Canonical(KeyScratch);
+  KeyScratch.insert(KeyScratch.end(), Args, Args + NumKeys);
   canonicalizeRow(Canonical.data(), NumKeys);
   if (std::optional<Value> Existing = Info.Storage->lookup(Canonical.data())) {
     Out = *Existing;
@@ -170,7 +208,8 @@ bool EGraph::getOrCreate(FunctionId Func, const Value *Args, Value &Out) {
                 "' has no default for a missing entry");
     return false;
   }
-  // Re-check: evaluating the default may have populated the entry.
+  // Re-check: evaluating the default may have populated the entry (note
+  // Canonical.data() is recomputed — nested frames may have reallocated).
   if (std::optional<Value> Existing = Info.Storage->lookup(Canonical.data())) {
     Out = *Existing;
     return true;
@@ -182,7 +221,8 @@ bool EGraph::getOrCreate(FunctionId Func, const Value *Args, Value &Out) {
 bool EGraph::setValue(FunctionId Func, const Value *Args, Value Out) {
   FunctionInfo &Info = *Functions[Func];
   unsigned NumKeys = Info.numKeys();
-  std::vector<Value> Canonical(Args, Args + NumKeys);
+  ScratchFrame Canonical(KeyScratch);
+  KeyScratch.insert(KeyScratch.end(), Args, Args + NumKeys);
   canonicalizeRow(Canonical.data(), NumKeys);
   Out = canonicalize(Out);
 
@@ -202,8 +242,9 @@ bool EGraph::setValue(FunctionId Func, const Value *Args, Value Out) {
   // conflict otherwise.
   Value Merged;
   if (Info.Decl.MergeExpr) {
-    std::vector<Value> Env = {Old, Out};
-    if (!evalExpr(*Info.Decl.MergeExpr, Env, Merged, /*CreateTerms=*/true))
+    MergeEnv.assign({Old, Out});
+    if (!evalExpr(*Info.Decl.MergeExpr, MergeEnv, Merged,
+                  /*CreateTerms=*/true))
       return false;
     Merged = canonicalize(Merged);
   } else if (SortsTable.isIdSort(Info.Decl.OutSort)) {
@@ -232,38 +273,143 @@ Value EGraph::unionValues(Value A, Value B) {
 }
 
 unsigned EGraph::rebuild() {
+  return ForceFullRebuild ? rebuildFullSweep() : rebuildIncremental();
+}
+
+bool EGraph::rewriteRow(FunctionId Func, size_t Row, std::vector<Value> &Buffer,
+                        bool &Rewritten) {
+  Table &T = *Functions[Func]->Storage;
+  unsigned Width = T.rowWidth();
+  Buffer.assign(T.row(Row), T.row(Row) + Width);
+  if (!canonicalizeRow(Buffer.data(), Width))
+    return true;
+  // The row is stale: remove it and reinsert canonically (which may
+  // trigger the merge expression on a collision).
+  T.erase(T.row(Row));
+  Rewritten = true;
+  return setValue(Func, Buffer.data(), Buffer[Width - 1]);
+}
+
+unsigned EGraph::rebuildIncremental() {
   unsigned Passes = 0;
+  std::vector<uint64_t> Dirty;
+  std::vector<uint32_t> Rows;
   std::vector<Value> Buffer;
-  bool Changed = true;
-  while (Changed && !Failed) {
-    Changed = false;
+  std::vector<bool> Rewritten(Functions.size(), false);
+  // Fixpoint over the merge worklist: each pass drains the ids that lost
+  // their canonical status, rewrites exactly the rows reaching them through
+  // the occurrence indexes, and loops while those rewrites merge further
+  // classes. Terminates because canonical ids only ever shrink (min-id
+  // representatives).
+  while (!Failed) {
+    UF.takeDirty(Dirty);
+    if (Dirty.empty())
+      break;
     ++Passes;
-    for (auto &InfoPtr : Functions) {
-      Table &T = *InfoPtr->Storage;
-      unsigned Width = T.rowWidth();
-      size_t Limit = T.rowCount();
-      for (size_t Row = 0; Row < Limit; ++Row) {
-        if (!T.isLive(Row))
+    for (size_t F = 0; F < Functions.size(); ++F) {
+      FunctionInfo &Info = *Functions[F];
+      Table &T = *Info.Storage;
+      if (!Info.NeedsFullSweep && !T.trackingOccurrences())
+        continue; // rows hold only immutable values; unions cannot stale them
+      FunctionId Func = static_cast<FunctionId>(F);
+      // Bulk-sweep heuristic, two stages. First, the dirty set alone: a
+      // merge storm touching a sizable fraction of the table is swept
+      // without even bringing the occurrence index up to date (catch-up
+      // itself costs a pass over the appended rows). Second, the precise
+      // affected-row count (over-counted: chains may still hold dead
+      // rows): per-id resolution wins only while the affected set is a
+      // small fraction of the table. Either way a merge storm degrades to
+      // the old full-rebuild behavior, never below it.
+      bool Sweep = Info.NeedsFullSweep || Dirty.size() * 4 > T.liveCount();
+      if (!Sweep) {
+        size_t Affected = T.occurrenceCount(Dirty);
+        if (Affected == 0)
           continue;
-        Buffer.assign(T.row(Row), T.row(Row) + Width);
-        if (!canonicalizeRow(Buffer.data(), Width))
-          continue;
-        // The row is stale: remove it and reinsert canonically (which may
-        // trigger the merge expression on a collision).
-        T.erase(T.row(Row));
-        FunctionId Func = static_cast<FunctionId>(&InfoPtr - &Functions[0]);
-        if (!setValue(Func, Buffer.data(), Buffer[Width - 1]))
-          return Passes;
-        Changed = true;
+        Sweep = Affected * 4 > T.liveCount();
+      }
+      if (Sweep) {
+        // The sweep visits every row, so the per-id lists for this drain
+        // are dead weight: drop them (a consumed id never reappears).
+        if (T.trackingOccurrences())
+          for (uint64_t Id : Dirty)
+            T.dropOccurrences(Id);
+        size_t Limit = T.rowCount();
+        for (size_t Row = 0; Row < Limit; ++Row) {
+          if (!T.isLive(Row))
+            continue;
+          bool RowRewritten = false;
+          if (!rewriteRow(Func, Row, Buffer, RowRewritten))
+            return Passes;
+          if (RowRewritten)
+            Rewritten[F] = true;
+        }
+      } else {
+        for (uint64_t Id : Dirty) {
+          Rows.clear();
+          T.takeOccurrences(Id, Rows);
+          for (uint32_t Row : Rows) {
+            // A row can die mid-drain: another dirty id already rewrote
+            // it, or a reinsertion collided with its key.
+            if (!T.isLive(Row))
+              continue;
+            bool RowRewritten = false;
+            if (!rewriteRow(Func, Row, Buffer, RowRewritten))
+              return Passes;
+            if (RowRewritten)
+              Rewritten[F] = true;
+          }
+        }
       }
     }
   }
   UnionsDirty = false;
-  // Bulk-drop the stamp-partition indexes made stale by the rows this
-  // rebuild rewrote; the All indexes stay for incremental refresh.
-  for (auto &InfoPtr : Functions)
-    InfoPtr->Storage->indexes().sweepStale();
+  sweepRewrittenIndexes(Rewritten);
   return Passes;
+}
+
+unsigned EGraph::rebuildFullSweep() {
+  unsigned Passes = 0;
+  std::vector<Value> Buffer;
+  std::vector<bool> Rewritten(Functions.size(), false);
+  bool Changed = true;
+  while (Changed && !Failed) {
+    Changed = false;
+    ++Passes;
+    for (size_t F = 0; F < Functions.size(); ++F) {
+      Table &T = *Functions[F]->Storage;
+      size_t Limit = T.rowCount();
+      for (size_t Row = 0; Row < Limit; ++Row) {
+        if (!T.isLive(Row))
+          continue;
+        bool RowRewritten = false;
+        if (!rewriteRow(static_cast<FunctionId>(F), Row, Buffer,
+                        RowRewritten))
+          return Passes;
+        if (RowRewritten) {
+          Changed = true;
+          Rewritten[F] = true;
+        }
+      }
+    }
+  }
+  // The sweep restored canonicity without consulting the worklist; drop it
+  // so a later incremental rebuild does not reprocess applied merges.
+  UF.clearDirty();
+  UnionsDirty = false;
+  sweepRewrittenIndexes(Rewritten);
+  return Passes;
+}
+
+void EGraph::sweepRewrittenIndexes(const std::vector<bool> &Rewritten) {
+  // Stamp-partition indexes are dropped only for tables that actually had
+  // rows rewritten; untouched tables keep their entries, which re-validate
+  // lazily against version() on next use. The All indexes always stay for
+  // incremental refresh.
+  for (size_t F = 0; F < Rewritten.size(); ++F) {
+    Table &T = *Functions[F]->Storage;
+    if (Rewritten[F] && T.hasIndexCache())
+      T.indexes().sweepStale();
+  }
 }
 
 //===----------------------------------------------------------------------===
@@ -281,17 +427,30 @@ bool EGraph::evalExpr(const TypedExpr &Expr, const std::vector<Value> &Env,
     Out = Expr.Literal;
     return true;
   case TypedExpr::Kind::PrimCall: {
-    std::vector<Value> Args(Expr.Args.size());
-    for (size_t I = 0; I < Expr.Args.size(); ++I)
-      if (!evalExpr(Expr.Args[I], Env, Args[I], CreateTerms))
+    // Arguments are evaluated into a frame of the shared scratch stack
+    // (this runs inside every action and merge expression on the rebuild
+    // hot path; a per-call std::vector was a measurable allocation cost).
+    // Recursion pushes nested frames above this one, so cells are
+    // re-addressed by index after every nested eval.
+    ScratchFrame Args(EvalScratch);
+    EvalScratch.resize(Args.Base + Expr.Args.size());
+    for (size_t I = 0; I < Expr.Args.size(); ++I) {
+      Value V;
+      if (!evalExpr(Expr.Args[I], Env, V, CreateTerms))
         return false;
+      EvalScratch[Args.Base + I] = V;
+    }
     return Prims.get(Expr.Index).Apply(*this, Args.data(), Out);
   }
   case TypedExpr::Kind::FuncCall: {
-    std::vector<Value> Args(Expr.Args.size());
-    for (size_t I = 0; I < Expr.Args.size(); ++I)
-      if (!evalExpr(Expr.Args[I], Env, Args[I], CreateTerms))
+    ScratchFrame Args(EvalScratch);
+    EvalScratch.resize(Args.Base + Expr.Args.size());
+    for (size_t I = 0; I < Expr.Args.size(); ++I) {
+      Value V;
+      if (!evalExpr(Expr.Args[I], Env, V, CreateTerms))
         return false;
+      EvalScratch[Args.Base + I] = V;
+    }
     if (CreateTerms)
       return getOrCreate(Expr.Index, Args.data(), Out);
     std::optional<Value> Existing = lookup(Expr.Index, Args.data());
@@ -317,10 +476,14 @@ bool EGraph::runActions(const std::vector<Action> &Actions,
       break;
     }
     case Action::Kind::Set: {
-      std::vector<Value> Args(Act.Args.size());
-      for (size_t I = 0; I < Act.Args.size(); ++I)
-        if (!evalExpr(Act.Args[I], Env, Args[I]))
+      ScratchFrame Args(EvalScratch);
+      EvalScratch.resize(Args.Base + Act.Args.size());
+      for (size_t I = 0; I < Act.Args.size(); ++I) {
+        Value V;
+        if (!evalExpr(Act.Args[I], Env, V))
           return false;
+        EvalScratch[Args.Base + I] = V;
+      }
       Value Result;
       if (!evalExpr(Act.Expr, Env, Result))
         return false;
@@ -345,14 +508,18 @@ bool EGraph::runActions(const std::vector<Action> &Actions,
       break;
     }
     case Action::Kind::Delete: {
-      std::vector<Value> Args(Act.Args.size());
-      for (size_t I = 0; I < Act.Args.size(); ++I)
-        if (!evalExpr(Act.Args[I], Env, Args[I]))
+      ScratchFrame Args(EvalScratch);
+      EvalScratch.resize(Args.Base + Act.Args.size());
+      for (size_t I = 0; I < Act.Args.size(); ++I) {
+        Value V;
+        if (!evalExpr(Act.Args[I], Env, V))
           return false;
-      canonicalizeRow(Args.data(), Args.size());
+        EvalScratch[Args.Base + I] = V;
+      }
+      canonicalizeRow(Args.data(), Act.Args.size());
       Value Dummy;
-      Functions[Act.Func]->Storage->erase(Args.empty() ? &Dummy
-                                                       : Args.data());
+      Functions[Act.Func]->Storage->erase(Act.Args.empty() ? &Dummy
+                                                           : Args.data());
       break;
     }
     }

@@ -53,6 +53,11 @@ struct FunctionDecl {
 struct FunctionInfo {
   FunctionDecl Decl;
   std::unique_ptr<Table> Storage;
+  /// True if some column is a container (Set) whose elements reach an id
+  /// sort. Unions can stale such rows without any id appearing directly in
+  /// an id column, so the incremental rebuild must sweep this table in full
+  /// whenever the dirty worklist is non-empty.
+  bool NeedsFullSweep = false;
 
   unsigned numKeys() const { return Decl.ArgSorts.size(); }
 };
@@ -160,8 +165,19 @@ public:
   Value unionValues(Value A, Value B);
 
   /// Restores all invariants: canonical values everywhere, no functional
-  /// dependency violations (§5.1). Returns the number of passes.
+  /// dependency violations (§5.1). Incremental by default: drains the
+  /// union-find's dirty worklist and rewrites only the rows reached through
+  /// the tables' occurrence indexes, falling back to a per-table sweep when
+  /// the affected set is a large fraction of the table (or when container
+  /// columns hide ids from the occurrence index). Returns the number of
+  /// worklist passes (0 when nothing was dirty).
   unsigned rebuild();
+
+  /// Forces rebuild() onto the legacy full-sweep algorithm (every live row
+  /// of every table re-canonicalized per pass). Ablation and differential
+  /// testing only; results are identical, only the cost differs.
+  void setFullRebuild(bool Force) { ForceFullRebuild = Force; }
+  bool fullRebuild() const { return ForceFullRebuild; }
 
   /// True if unions have happened since the last rebuild.
   bool needsRebuild() const { return UnionsDirty; }
@@ -271,11 +287,41 @@ private:
   std::unordered_map<std::string, FunctionId> FunctionNames;
   uint32_t Timestamp = 0;
   bool UnionsDirty = false;
+  bool ForceFullRebuild = false;
   bool Failed = false;
   std::string ErrorMsg;
 
+  /// Reusable scratch stacks for the evaluation hot path (every action and
+  /// merge expression, including the rebuild loop): evaluated argument
+  /// tuples and canonicalized key tuples are pushed as stack frames here
+  /// instead of allocating a fresh std::vector per call. Two separate
+  /// stacks because a key frame is pushed while an argument frame is live
+  /// (and vice versa); a single stack would alias the source pointer during
+  /// the push. Frames nest with recursion and always pop on return.
+  std::vector<Value> EvalScratch;
+  std::vector<Value> KeyScratch;
+  /// Two-slot {old, new} environment for merge expressions. setValue is
+  /// never reentrant (merge expressions evaluate through getOrCreate, which
+  /// inserts directly), so one buffer suffices.
+  std::vector<Value> MergeEnv;
+
   /// Canonicalizes a row in place; returns true if anything changed.
   bool canonicalizeRow(Value *Row, unsigned Width);
+
+  /// The two rebuild strategies behind rebuild().
+  unsigned rebuildIncremental();
+  unsigned rebuildFullSweep();
+
+  /// Re-canonicalizes one live row (erase + reinsert through the merge
+  /// semantics). Sets \p Rewritten if the row was stale; returns false on a
+  /// merge conflict error.
+  bool rewriteRow(FunctionId Func, size_t Row, std::vector<Value> &Buffer,
+                  bool &Rewritten);
+
+  /// Drops the stamp-partition index entries of exactly the tables whose
+  /// rows were rewritten (proportional invalidation; untouched tables keep
+  /// their entries and re-validate lazily against version()).
+  void sweepRewrittenIndexes(const std::vector<bool> &Rewritten);
 
   void registerSetPrimitives(SortId SetSort);
 };

@@ -223,7 +223,7 @@ RunReport Engine::run(const RunOptions &Options) {
 
     //=== Rebuild phase: restore congruence and canonical form. ============
     Phase.reset();
-    Graph.rebuild();
+    Stats.RebuildPasses = Graph.rebuild();
     Stats.RebuildSeconds = Phase.seconds();
     if (Graph.failed()) {
       Report.Iterations.push_back(Stats);

@@ -68,6 +68,8 @@ struct IterationStats {
   double SearchSeconds = 0;
   double ApplySeconds = 0;
   double RebuildSeconds = 0;
+  /// Worklist passes the rebuild took (0 = nothing was dirty).
+  unsigned RebuildPasses = 0;
 };
 
 /// Result of a run.

@@ -246,20 +246,29 @@ void egglog::registerBuiltinPrimitives(PrimitiveRegistry &R) {
            return true;
          });
   };
+  // Interval endpoints can carry +/-inf (see the saturating rounding
+  // primitives below), so the indeterminate forms fail the match instead
+  // of computing: an abandoned analysis fact is always sound.
   RatBin("+", [](const Rational &X, const Rational &Y, Rational &Result) {
+    if (!Rational::addDefined(X, Y))
+      return false;
     Result = X + Y;
     return true;
   });
   RatBin("-", [](const Rational &X, const Rational &Y, Rational &Result) {
+    if (!Rational::subDefined(X, Y))
+      return false;
     Result = X - Y;
     return true;
   });
   RatBin("*", [](const Rational &X, const Rational &Y, Rational &Result) {
+    if (!Rational::mulDefined(X, Y))
+      return false;
     Result = X * Y;
     return true;
   });
   RatBin("/", [](const Rational &X, const Rational &Y, Rational &Result) {
-    if (Y.isZero())
+    if (!Rational::divDefined(X, Y))
       return false;
     Result = X / Y;
     return true;
@@ -284,64 +293,81 @@ void egglog::registerBuiltinPrimitives(PrimitiveRegistry &R) {
   // analysis rules of Fig. 10. Results are rounded outward to dyadics so
   // chained interval arithmetic stays cheap.
   //
-  // All interval primitives give up (failing the match, which abandons the
-  // analysis fact — always sound, guards simply do not fire) once a
-  // magnitude is astronomically large. Without the cap, saturating the
+  // All interval primitives saturate once a magnitude's representation
+  // exceeds 1024 bits: the endpoint is rounded *outward* onto the capped
+  // dyadic grid — to the saturation points +/-2^896, +/-2^-896, or 0
+  // while a sound capped bound exists (see the margin argument below),
+  // and all the way to +/-inf beyond that. Without the cap, saturating the
   // analysis over deep product terms (x^2, x^4, ... from the flip
   // rewrites) chains dyadics whose widths double per term level, and a
-  // single iteration can take minutes of BigInt arithmetic.
+  // single iteration can take minutes of BigInt arithmetic; the earlier
+  // fail-the-match behavior bounded the cost but silently dropped the
+  // analysis fact, leaving guards blind on exactly the deep terms the
+  // paper's sound rewrites need.
   auto TooWide = [](const Rational &X) {
     return X.numerator().bitWidth() > 1024 ||
            X.denominator().bitWidth() > 1024;
   };
+  // Endpoints are rounded to 64 significant bits FIRST (which already
+  // absorbs wide-but-moderate values like (2^2000+1)/2^2000), and only a
+  // still-wide result — whose magnitude, not precision, is the problem —
+  // saturates. A post-rounding wide value has a 64-bit side and a
+  // >1024-bit side, so its magnitude is at least 2^960 (wide numerator) or
+  // at most 2^-959 (wide denominator); the grid's saturation points
+  // +/-2^896 and +/-2^-896 sit strictly inside those regimes (64+ bits of
+  // margin), making Cap <= |huge| and |tiny| <= TinyCap sound, while their
+  // own representations stay far under the 1024-bit cap.
+  Rational Cap(BigInt(1).shiftLeft(896), BigInt(1));
+  Rational TinyCap(BigInt(1), BigInt(1).shiftLeft(896));
+  auto SaturateLo = [TooWide, Cap, TinyCap](const Rational &X) {
+    if (!X.isFinite() || !TooWide(X))
+      return X;
+    bool Huge = X.numerator().bitWidth() > X.denominator().bitWidth();
+    if (X.isNegative())
+      return Huge ? Rational::negInfinity() : -TinyCap;
+    return Huge ? Cap : Rational();
+  };
+  auto SaturateHi = [SaturateLo](const Rational &X) { return -SaturateLo(-X); };
   prim(R, "sqrt-lo", {Rat}, Rat,
-       [TooWide](EGraph &G, const Value *A, Value &Out) {
+       [SaturateLo](EGraph &G, const Value *A, Value &Out) {
          const Rational &X = G.valueToRational(A[0]);
-         if (X.isNegative() || TooWide(X))
+         if (X.isNegative())
            return false;
-         Out = G.mkRational(X.roundDown().sqrtLower(30).roundDown());
+         Out = G.mkRational(
+             SaturateLo(X.roundDown()).sqrtLower(30).roundDown());
          return true;
        });
   prim(R, "sqrt-hi", {Rat}, Rat,
-       [TooWide](EGraph &G, const Value *A, Value &Out) {
+       [SaturateHi](EGraph &G, const Value *A, Value &Out) {
          const Rational &X = G.valueToRational(A[0]);
-         if (X.isNegative() || TooWide(X))
+         if (X.isNegative())
            return false;
-         Out = G.mkRational(X.roundUp().sqrtUpper(30).roundUp());
+         Out = G.mkRational(SaturateHi(X.roundUp()).sqrtUpper(30).roundUp());
          return true;
        });
   prim(R, "cbrt-lo", {Rat}, Rat,
-       [TooWide](EGraph &G, const Value *A, Value &Out) {
+       [SaturateLo](EGraph &G, const Value *A, Value &Out) {
          const Rational &X = G.valueToRational(A[0]);
-         if (TooWide(X))
-           return false;
-         Out = G.mkRational(X.roundDown().cbrtLower(30).roundDown());
+         Out = G.mkRational(
+             SaturateLo(X.roundDown()).cbrtLower(30).roundDown());
          return true;
        });
   prim(R, "cbrt-hi", {Rat}, Rat,
-       [TooWide](EGraph &G, const Value *A, Value &Out) {
+       [SaturateHi](EGraph &G, const Value *A, Value &Out) {
          const Rational &X = G.valueToRational(A[0]);
-         if (TooWide(X))
-           return false;
-         Out = G.mkRational(X.roundUp().cbrtUpper(30).roundUp());
+         Out = G.mkRational(SaturateHi(X.roundUp()).cbrtUpper(30).roundUp());
          return true;
        });
   // Outward rounding for interval endpoints (sound: lo rounds down, hi
-  // rounds up).
+  // rounds up), saturating past the representation cap.
   prim(R, "round-lo", {Rat}, Rat,
-       [TooWide](EGraph &G, const Value *A, Value &Out) {
-         const Rational &X = G.valueToRational(A[0]);
-         if (TooWide(X))
-           return false;
-         Out = G.mkRational(X.roundDown());
+       [SaturateLo](EGraph &G, const Value *A, Value &Out) {
+         Out = G.mkRational(SaturateLo(G.valueToRational(A[0]).roundDown()));
          return true;
        });
   prim(R, "round-hi", {Rat}, Rat,
-       [TooWide](EGraph &G, const Value *A, Value &Out) {
-         const Rational &X = G.valueToRational(A[0]);
-         if (TooWide(X))
-           return false;
-         Out = G.mkRational(X.roundUp());
+       [SaturateHi](EGraph &G, const Value *A, Value &Out) {
+         Out = G.mkRational(SaturateHi(G.valueToRational(A[0]).roundUp()));
          return true;
        });
   prim(R, "to-f64", {Rat}, F64, [](EGraph &G, const Value *A, Value &Out) {

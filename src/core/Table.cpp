@@ -193,6 +193,53 @@ bool Table::erase(const Value *Keys) {
   return true;
 }
 
+void Table::catchUpOccurrences() {
+  size_t Rows = rowCount();
+  for (size_t Row = OccTracked; Row < Rows; ++Row) {
+    if (!Live[Row])
+      continue; // died before any rebuild could need it
+    const Value *Cells = row(Row);
+    for (unsigned Col : IdColumns) {
+      uint64_t Id = Cells[Col].Bits;
+      if (Id >= OccHead.size()) {
+        // Ids are dense union-find indexes; grow geometrically so repeated
+        // fresh ids stay amortized-constant.
+        size_t NewSize = std::max<size_t>(Id + 1, OccHead.size() * 2);
+        OccHead.resize(std::max<size_t>(NewSize, 16), -1);
+      }
+      int32_t Head = OccHead[Id];
+      // The same id in two columns of one row needs only one entry.
+      if (Head >= 0 && OccPool[Head].Row == Row)
+        continue;
+      OccPool.push_back(OccNode{static_cast<uint32_t>(Row), Head});
+      OccHead[Id] = static_cast<int32_t>(OccPool.size() - 1);
+    }
+  }
+  OccTracked = Rows;
+}
+
+size_t Table::occurrenceCount(const std::vector<uint64_t> &Ids) {
+  catchUpOccurrences();
+  size_t Count = 0;
+  for (uint64_t Id : Ids) {
+    if (Id >= OccHead.size())
+      continue;
+    for (int32_t Node = OccHead[Id]; Node >= 0; Node = OccPool[Node].Next)
+      ++Count;
+  }
+  return Count;
+}
+
+void Table::takeOccurrences(uint64_t IdBits, std::vector<uint32_t> &Out) {
+  catchUpOccurrences();
+  if (IdBits >= OccHead.size())
+    return;
+  for (int32_t Node = OccHead[IdBits]; Node >= 0; Node = OccPool[Node].Next)
+    if (Live[OccPool[Node].Row])
+      Out.push_back(OccPool[Node].Row);
+  OccHead[IdBits] = -1;
+}
+
 Table::Snapshot Table::snapshot() const {
   Snapshot S;
   S.Rows = Stamps.size();
@@ -230,7 +277,13 @@ void Table::restore(const Snapshot &S) {
   }
 
   // Resurrected rows violate the indexes' "rows only die" refresh
-  // assumption, so drop every cached column index outright.
+  // assumption, so drop every cached column index outright. The occurrence
+  // index is rebuilt lazily for the same reason: truncation orphans its
+  // row ids and resurrection revives rows whose chains may already have
+  // been consumed by a rebuild.
+  OccHead.clear();
+  OccPool.clear();
+  OccTracked = 0;
   if (Indexes)
     Indexes->invalidate();
 }
@@ -244,6 +297,9 @@ void Table::clear() {
   ++Version;
   Slots.assign(16, 0);
   SlotMask = Slots.size() - 1;
+  OccHead.clear();
+  OccPool.clear();
+  OccTracked = 0;
   // Row slots will be reused with different contents, so cached indexes
   // must not attempt an incremental refresh against their stale ids.
   if (Indexes)

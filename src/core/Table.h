@@ -123,6 +123,46 @@ public:
   /// Mutation invalidates it implicitly through version().
   IndexCache &indexes() const;
 
+  /// True once indexes() has been called; lets callers skip invalidation
+  /// work for tables that never built a cache.
+  bool hasIndexCache() const { return Indexes != nullptr; }
+
+  //===--------------------------------------------------------------------===
+  // Reverse occurrence index (incremental rebuilding, §5.1)
+  //===--------------------------------------------------------------------===
+  //
+  // Maps an uninterpreted id to the rows whose id-sort columns mention it,
+  // so rebuild() can resolve exactly the rows containing a merged id
+  // instead of sweeping rowCount(). Maintained lazily: inserts do nothing,
+  // and catch-up scans only the rows appended since the last drain (rows
+  // are append-only, and every cell was canonical when written). Lists may
+  // contain dead rows — readers skip them — and are dropped wholesale once
+  // their id stops being canonical (it can never be written again).
+
+  /// Declares which row columns (key positions, plus NumKeys for the
+  /// output) hold uninterpreted ids. Called once, at function declaration.
+  void setIdColumns(std::vector<unsigned> Cols) { IdColumns = std::move(Cols); }
+
+  /// True if this table has id-sort columns worth tracking.
+  bool trackingOccurrences() const { return !IdColumns.empty(); }
+
+  /// Upper bound on the rows mentioning any id in \p Ids (dead rows still
+  /// in the lists are counted); used by the bulk-sweep heuristic.
+  size_t occurrenceCount(const std::vector<uint64_t> &Ids);
+
+  /// Appends the rows whose id columns mention \p IdBits to \p Out (dead
+  /// rows are filtered out here) and drops the consumed list: once the
+  /// caller re-canonicalizes those rows, \p IdBits can never be written
+  /// into this table again.
+  void takeOccurrences(uint64_t IdBits, std::vector<uint32_t> &Out);
+
+  /// Drops the occurrence list of \p IdBits without reading it (used when
+  /// a full sweep supersedes per-id resolution for this pass).
+  void dropOccurrences(uint64_t IdBits) {
+    if (IdBits < OccHead.size())
+      OccHead[IdBits] = -1;
+  }
+
   /// Pointer to the first value of a row (NumKeys keys then the output).
   const Value *row(size_t Row) const { return &Cells[Row * rowWidth()]; }
   Value output(size_t Row) const { return Cells[Row * rowWidth() + NumKeys]; }
@@ -163,6 +203,32 @@ private:
   /// liveCountAtLeast.
   bool StampsSorted = true;
   mutable std::unique_ptr<IndexCache> Indexes;
+
+  /// Row columns holding uninterpreted ids (key positions; NumKeys means
+  /// the output column). Empty for tables without id sorts, which then
+  /// skip occurrence tracking entirely.
+  std::vector<unsigned> IdColumns;
+  /// Occurrence index storage. Uninterpreted ids are dense union-find
+  /// indexes, so the id -> rows map is a direct-indexed head array over a
+  /// pooled singly-linked list — no per-id heap allocations, and catch-up
+  /// is two stores per (row, id column). Chains may hold dead rows
+  /// (skipped on read); consumed chains are detached by resetting the
+  /// head, their nodes staying in the pool (8 bytes each, dwarfed by the
+  /// row payload).
+  struct OccNode {
+    uint32_t Row;
+    int32_t Next;
+  };
+  std::vector<int32_t> OccHead;
+  std::vector<OccNode> OccPool;
+  /// Rows [0, OccTracked) are reflected in the occurrence index.
+  /// restore()/clear() reset it to 0 and wipe the index (truncation and
+  /// resurrection both break the append-only contract the lazy catch-up
+  /// relies on).
+  size_t OccTracked = 0;
+
+  /// Indexes the rows appended since the last catch-up.
+  void catchUpOccurrences();
 
   /// Open-addressing hash index mapping key tuples to their live row.
   /// Slots hold row index + 1; 0 means empty. Dead rows are unlinked

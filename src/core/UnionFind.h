@@ -62,32 +62,60 @@ public:
       std::swap(RootA, RootB);
     Parents[RootB] = RootA;
     ++UnionCount;
+    // The losing root is exactly the id that just stopped being canonical:
+    // every database row that mentions it is now stale. Rebuilding drains
+    // this list instead of sweeping every table (§5.1). An id can lose at
+    // most once (a non-root is never passed to the link above), so the list
+    // never holds duplicates.
+    Dirty.push_back(RootB);
     return RootA;
   }
 
   /// Total number of effective (class-merging) unions performed.
   uint64_t unionCount() const { return UnionCount; }
 
+  /// True if some id lost its canonical status since the last takeDirty().
+  bool hasDirty() const { return !Dirty.empty(); }
+
+  /// Moves the accumulated losing roots into \p Out (clearing the internal
+  /// list). Unions performed while the caller processes \p Out accumulate
+  /// into a fresh list for the next drain.
+  void takeDirty(std::vector<uint64_t> &Out) {
+    Out.clear();
+    Out.swap(Dirty);
+  }
+
+  /// Discards the pending dirty list (used after a full-sweep rebuild,
+  /// which restores canonicity without consulting it).
+  void clearDirty() { Dirty.clear(); }
+
   /// A frozen copy of the equivalence relation, for push/pop contexts.
   /// Path compression makes an undo log unsound to replay (compressed
   /// parent edges can reference unions that are later undone), so the
-  /// snapshot stores the parent array itself.
+  /// snapshot stores the parent array itself. The pending dirty list is
+  /// part of the relation's rebuild state and travels with it: ids that
+  /// were awaiting re-canonicalization at snapshot time must still be
+  /// awaiting it after a pop.
   struct Snapshot {
     std::vector<uint64_t> Parents;
+    std::vector<uint64_t> Dirty;
     uint64_t UnionCount = 0;
   };
 
-  Snapshot snapshot() const { return Snapshot{Parents, UnionCount}; }
+  Snapshot snapshot() const { return Snapshot{Parents, Dirty, UnionCount}; }
 
   /// Restores the relation captured by \p S exactly: ids created since are
   /// forgotten and every union since is undone.
   void restore(const Snapshot &S) {
     Parents = S.Parents;
+    Dirty = S.Dirty;
     UnionCount = S.UnionCount;
   }
 
 private:
   mutable std::vector<uint64_t> Parents;
+  /// Roots that lost a unite() since the last takeDirty(), in merge order.
+  std::vector<uint64_t> Dirty;
   uint64_t UnionCount = 0;
 };
 

@@ -33,7 +33,14 @@ const char *Datatype = R"(
 )";
 
 /// The interval analysis of Fig. 10: lo is a max-lattice, hi a min-lattice,
-/// both keyed on e-classes so unions tighten the intervals.
+/// both keyed on e-classes so unions tighten the intervals. Endpoints live
+/// on a capped dyadic grid extended with +/-inf: the rounding primitives
+/// (round-lo/round-hi, sqrt-*/cbrt-*) saturate outward once a magnitude's
+/// representation would exceed 1024 bits, so deep product terms (x^2, x^4,
+/// ... from the flip rewrites) analyze in bounded time while keeping a
+/// sound — merely loose — bound instead of dropping the fact. Guards like
+/// (> lb 0) never fire off a saturated bound unsoundly: saturation only
+/// ever widens the interval.
 const char *IntervalAnalysis = R"(
   (function lo (Math) Rational :merge (max old new))
   (function hi (Math) Rational :merge (min old new))

@@ -123,8 +123,10 @@ AnalysisResult runEgglog(const Program &P, bool SemiNaive,
   Opts.TimeoutSeconds = TimeoutSeconds;
   RunReport Report = F.engine().run(Opts);
   Result.Seconds = Clock.seconds();
-  for (const IterationStats &Stats : Report.Iterations)
+  for (const IterationStats &Stats : Report.Iterations) {
     Result.SearchSeconds += Stats.SearchSeconds;
+    Result.RebuildSeconds += Stats.RebuildSeconds;
+  }
   Result.TimedOut = Report.TimedOut;
   if (Result.TimedOut)
     return Result;

@@ -60,6 +60,8 @@ struct AnalysisResult {
   /// Seconds spent in the engine's search phase (egglog systems only;
   /// zero for the Datalog and classic baselines).
   double SearchSeconds = 0;
+  /// Seconds spent in the engine's rebuild phase (egglog systems only).
+  double RebuildSeconds = 0;
   /// For each allocation id (base + field), the smallest allocation id it
   /// is equivalent to.
   std::vector<uint32_t> AllocClass;

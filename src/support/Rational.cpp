@@ -50,6 +50,19 @@ Rational Rational::fromDouble(double Value) {
   return Rational(std::move(Num), std::move(Den));
 }
 
+Rational Rational::posInfinity() { return infinity(1); }
+Rational Rational::negInfinity() { return infinity(-1); }
+
+Rational Rational::infinity(int Sign) {
+  assert(Sign != 0 && "infinity needs a sign");
+  // Bypasses the checked constructor: +/-1 over 0 is the one intentional
+  // violation of the denominator invariant.
+  Rational Result;
+  Result.Num = BigInt(Sign > 0 ? 1 : -1);
+  Result.Den = BigInt(0);
+  return Result;
+}
+
 Rational Rational::operator-() const {
   Rational Result = *this;
   Result.Num = -Result.Num;
@@ -57,24 +70,44 @@ Rational Rational::operator-() const {
 }
 
 Rational Rational::operator+(const Rational &Other) const {
+  if (!isFinite() || !Other.isFinite()) {
+    assert(addDefined(*this, Other) && "inf + -inf is indeterminate");
+    return isFinite() ? Other : *this;
+  }
   return Rational(Num * Other.Den + Other.Num * Den, Den * Other.Den);
 }
 
 Rational Rational::operator-(const Rational &Other) const {
+  if (!isFinite() || !Other.isFinite()) {
+    assert(subDefined(*this, Other) && "inf - inf is indeterminate");
+    return isFinite() ? -Other : *this;
+  }
   return Rational(Num * Other.Den - Other.Num * Den, Den * Other.Den);
 }
 
 Rational Rational::operator*(const Rational &Other) const {
+  if (!isFinite() || !Other.isFinite()) {
+    assert(mulDefined(*this, Other) && "0 * inf is indeterminate");
+    return infinity(sign() * Other.sign());
+  }
   return Rational(Num * Other.Num, Den * Other.Den);
 }
 
 Rational Rational::operator/(const Rational &Other) const {
   assert(!Other.isZero() && "rational division by zero");
+  if (!Other.isFinite()) {
+    assert(isFinite() && "inf / inf is indeterminate");
+    return Rational();
+  }
+  if (!isFinite())
+    return infinity(sign() * Other.sign());
   return Rational(Num * Other.Den, Den * Other.Num);
 }
 
 Rational Rational::inverse() const {
   assert(!isZero() && "inverse of zero");
+  if (!isFinite())
+    return Rational();
   return Rational(Den, Num);
 }
 
@@ -89,11 +122,17 @@ Rational Rational::max(const Rational &A, const Rational &B) {
 }
 
 int Rational::compare(const Rational &Other) const {
+  // Two infinities compare by sign; a single infinity falls out of the
+  // cross-multiplication below (the finite side collapses to zero).
+  if (!isFinite() && !Other.isFinite())
+    return sign() < Other.sign() ? -1 : (sign() > Other.sign() ? 1 : 0);
   return (Num * Other.Den).compare(Other.Num * Den);
 }
 
 Rational Rational::sqrtBound(unsigned Precision, bool RoundUp) const {
   assert(!isNegative() && "sqrt of a negative rational");
+  if (!isFinite())
+    return *this; // sqrt(+inf) = +inf, both bounds
   // sqrt(n/d) ~= isqrt(n * d * 4^p) / (d * 2^p). The floor of that integer
   // square root gives a lower bound; adding one gives an upper bound.
   BigInt Scaled = (Num * Den).shiftLeft(2 * Precision);
@@ -131,6 +170,8 @@ static BigInt icbrt(const BigInt &V) {
 Rational Rational::cbrtBound(unsigned Precision, bool RoundUp) const {
   // cbrt(n/d) = cbrt(n * d^2) / d, scaled by 8^p for precision. Handles
   // negative inputs by symmetry (cbrt is odd).
+  if (!isFinite())
+    return *this; // cbrt(+/-inf) = +/-inf, both bounds
   if (isNegative()) {
     Rational Positive = -*this;
     return -Positive.cbrtBound(Precision, !RoundUp);
@@ -151,6 +192,7 @@ Rational Rational::cbrtUpper(unsigned Precision) const {
 }
 
 Rational Rational::pow(int64_t Exponent) const {
+  assert(isFinite() && "pow of an infinity");
   if (Exponent < 0)
     return inverse().pow(-Exponent);
   return Rational(Num.pow(static_cast<uint64_t>(Exponent)),
@@ -195,14 +237,20 @@ Rational roundDyadic(const Rational &V, unsigned Bits, bool Down) {
 } // namespace
 
 Rational Rational::roundDown(unsigned Bits) const {
+  if (!isFinite())
+    return *this;
   return roundDyadic(*this, Bits, /*Down=*/true);
 }
 
 Rational Rational::roundUp(unsigned Bits) const {
+  if (!isFinite())
+    return *this;
   return roundDyadic(*this, Bits, /*Down=*/false);
 }
 
 double Rational::toDouble() const {
+  if (!isFinite())
+    return isNegative() ? -HUGE_VAL : HUGE_VAL;
   // Scale so the quotient has ~64 significant bits, then divide natively.
   if (isZero())
     return 0.0;
@@ -219,6 +267,8 @@ double Rational::toDouble() const {
 }
 
 std::string Rational::toString() const {
+  if (!isFinite())
+    return isNegative() ? "-inf" : "inf";
   if (Den.isOne())
     return Num.toString();
   return Num.toString() + "/" + Den.toString();

@@ -21,8 +21,13 @@
 
 namespace egglog {
 
-/// An exact rational number. Invariants: the denominator is positive and
-/// gcd(|num|, den) == 1; zero is 0/1.
+/// An exact rational number, extended with the two infinities. Invariants:
+/// for finite values the denominator is positive and gcd(|num|, den) == 1,
+/// zero is 0/1; the infinities are +/-1 over 0 and are only produced by
+/// the factories below (never by the constructors, which still reject a
+/// zero denominator). Infinities exist for the interval analyses: a bound
+/// whose magnitude blows past the representation cap saturates outward to
+/// +/-inf instead of failing, staying sound while staying cheap.
 class Rational {
 public:
   /// Constructs zero.
@@ -38,22 +43,50 @@ public:
   /// finite (doubles are scaled binary rationals, so this is lossless).
   static Rational fromDouble(double Value);
 
+  /// The extended-real infinities (the interval lattice's bottom bounds).
+  static Rational posInfinity();
+  static Rational negInfinity();
+  /// Infinity with the sign of \p Sign (which must be nonzero).
+  static Rational infinity(int Sign);
+
   const BigInt &numerator() const { return Num; }
   const BigInt &denominator() const { return Den; }
+
+  bool isFinite() const { return !Den.isZero(); }
+  bool isPosInfinity() const { return Den.isZero() && !Num.isNegative(); }
+  bool isNegInfinity() const { return Den.isZero() && Num.isNegative(); }
 
   bool isZero() const { return Num.isZero(); }
   bool isNegative() const { return Num.isNegative(); }
   bool isInteger() const { return Den.isOne(); }
   int sign() const { return Num.sign(); }
 
+  /// Arithmetic follows the extended reals where defined. The
+  /// indeterminate forms — inf - inf, 0 * inf, inf / inf — assert;
+  /// callers that can meet them (the interval primitives) must test with
+  /// the *Defined predicates first and fail their match instead.
   Rational operator-() const;
   Rational operator+(const Rational &Other) const;
   Rational operator-(const Rational &Other) const;
   Rational operator*(const Rational &Other) const;
-  /// Asserts Other != 0.
+  /// Asserts Other != 0 and not inf/inf. A finite value over an infinity
+  /// is exactly 0 (the outward-rounded interval endpoint).
   Rational operator/(const Rational &Other) const;
 
-  /// Reciprocal; asserts the value is nonzero.
+  static bool addDefined(const Rational &A, const Rational &B) {
+    return A.isFinite() || B.isFinite() || A.isNegative() == B.isNegative();
+  }
+  static bool subDefined(const Rational &A, const Rational &B) {
+    return A.isFinite() || B.isFinite() || A.isNegative() != B.isNegative();
+  }
+  static bool mulDefined(const Rational &A, const Rational &B) {
+    return !(!A.isFinite() && B.isZero()) && !(!B.isFinite() && A.isZero());
+  }
+  static bool divDefined(const Rational &A, const Rational &B) {
+    return !B.isZero() && (A.isFinite() || B.isFinite());
+  }
+
+  /// Reciprocal; asserts the value is nonzero (1/inf is exactly 0).
   Rational inverse() const;
 
   /// Absolute value.
