@@ -15,7 +15,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <random>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -27,6 +30,10 @@ namespace {
 /// full-sweep rebuild, so CI can record incremental-vs-sweep trajectories
 /// as two artifacts of the same binary.
 bool FullRebuildFlag = false;
+
+/// --threads N: match-phase concurrency for the engine-level benchmarks
+/// and the single-line JSON phase record emitted after the run.
+unsigned ThreadsFlag = 1;
 
 /// Builds an edge relation shaped like a sparse random graph.
 void populateEdges(EGraph &G, FunctionId Edge, unsigned Nodes,
@@ -87,6 +94,7 @@ void BM_TransitiveClosure(benchmark::State &State, bool SemiNaive) {
   for (auto _ : State) {
     Frontend F;
     F.graph().setFullRebuild(FullRebuildFlag);
+    F.engine().setThreads(ThreadsFlag);
     F.runOptions().SemiNaive = SemiNaive;
     std::string Program = R"(
       (relation edge (i64 i64))
@@ -196,14 +204,66 @@ BENCHMARK(BM_RebuildSparseUnions)->Arg(1000)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_TableInsertLookup)->Arg(1000)->Arg(100000);
 BENCHMARK(BM_UnionFind)->Arg(1000)->Arg(100000);
 
-// BENCHMARK_MAIN(), plus the --full-rebuild ablation flag (consumed here;
-// everything else is forwarded to Google Benchmark, e.g.
+namespace {
+
+/// One single-line JSON phase record mirroring bench_math/bench_pointsto:
+/// a dense transitive closure driven end to end at --threads N, with the
+/// engine's per-phase split, so the perf trajectory can attribute the
+/// match/apply cost even from the ablation artifact. On stderr, because
+/// stdout may be carrying --benchmark_format=json output.
+void emitPhaseRecord() {
+  Frontend F;
+  F.graph().setFullRebuild(FullRebuildFlag);
+  F.engine().setThreads(ThreadsFlag);
+  std::string Program = R"(
+    (relation edge (i64 i64))
+    (relation path (i64 i64))
+    (rule ((edge x y)) ((path x y)))
+    (rule ((path x y) (edge y z)) ((path x z)))
+  )";
+  // A chain plus chords: quadratic path count, join-heavy matching.
+  constexpr unsigned Length = 384;
+  for (unsigned I = 0; I < Length; ++I) {
+    Program += "(edge " + std::to_string(I) + " " + std::to_string(I + 1) +
+               ")\n";
+    if (I % 7 == 0)
+      Program +=
+          "(edge " + std::to_string(I) + " " + std::to_string(I / 2) + ")\n";
+  }
+  Program += "(run)\n";
+  if (!F.execute(Program)) {
+    std::fprintf(stderr, "phase record failed: %s\n", F.error().c_str());
+    return;
+  }
+  const Frontend::PhaseTotals &T = F.phaseTotals();
+  std::fprintf(stderr,
+               "{\"bench\": \"ablation_tc\", \"system\": \"egglog\", "
+               "\"iterations\": %zu, \"threads\": %u, \"match_s\": %.6f, "
+               "\"apply_s\": %.6f, \"rebuild_s\": %.6f, \"total_s\": %.6f}\n",
+               T.Iterations, ThreadsFlag, T.SearchSeconds, T.ApplySeconds,
+               T.RebuildSeconds,
+               T.SearchSeconds + T.ApplySeconds + T.RebuildSeconds);
+}
+
+} // namespace
+
+// BENCHMARK_MAIN(), plus the --full-rebuild / --threads ablation flags
+// (consumed here; everything else is forwarded to Google Benchmark, e.g.
 // --benchmark_format=json for the CI artifacts).
 int main(int argc, char **argv) {
   std::vector<char *> Args;
   for (int I = 0; I < argc; ++I) {
     if (std::string_view(argv[I]) == "--full-rebuild") {
       FullRebuildFlag = true;
+      continue;
+    }
+    if (std::string_view(argv[I]) == "--threads") {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --threads\n");
+        return 1;
+      }
+      int N = std::atoi(argv[++I]);
+      ThreadsFlag = N < 1 ? 1u : static_cast<unsigned>(N);
       continue;
     }
     Args.push_back(argv[I]);
@@ -213,6 +273,7 @@ int main(int argc, char **argv) {
   if (benchmark::ReportUnrecognizedArguments(ForwardedArgc, Args.data()))
     return 1;
   benchmark::RunSpecifiedBenchmarks();
+  emitPhaseRecord();
   benchmark::Shutdown();
   return 0;
 }

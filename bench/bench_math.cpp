@@ -10,6 +10,7 @@
 // headline speedups at the final iteration.
 //
 // Usage: bench_math [iterations] [node_limit] [--full-rebuild]
+//                   [--threads N]
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,8 +32,11 @@ namespace {
 struct Series {
   std::vector<size_t> ENodes;
   std::vector<double> CumulativeSeconds;
-  /// Total seconds spent in the search phase across all iterations.
+  /// Total seconds spent in the match phase across all iterations
+  /// (includes the warm-up pre-pass when running multi-threaded).
   double SearchSeconds = 0;
+  /// Total seconds spent in the apply phase across all iterations.
+  double ApplySeconds = 0;
   /// Total seconds spent in the rebuild phase across all iterations.
   double RebuildSeconds = 0;
   /// Rebuild seconds per reported iteration (merge-heavy late iterations
@@ -68,6 +72,7 @@ Series runEgg(unsigned Iterations, size_t NodeLimit) {
   for (const classic::RunnerIteration &It : Report.Iterations) {
     Cumulative += It.SearchSeconds + It.ApplySeconds + It.RebuildSeconds;
     Result.SearchSeconds += It.SearchSeconds;
+    Result.ApplySeconds += It.ApplySeconds;
     Result.RebuildSeconds += It.RebuildSeconds;
     Result.RebuildPerIteration.push_back(It.RebuildSeconds);
     Result.ENodes.push_back(It.ENodes);
@@ -92,10 +97,14 @@ size_t egglogENodes(Frontend &F) {
 /// rebuild (ablation; lets one binary produce both trajectories).
 bool FullRebuildFlag = false;
 
+/// --threads N: match-phase concurrency for the egglog systems.
+unsigned ThreadsFlag = 1;
+
 /// Runs the egglog engine (incremental or not).
 Series runEgglog(bool SemiNaive, unsigned Iterations, size_t NodeLimit) {
   Frontend F;
   F.graph().setFullRebuild(FullRebuildFlag);
+  F.engine().setThreads(ThreadsFlag);
   if (!F.execute(bench::mathRulesEgglog()) ||
       !F.execute(bench::mathSeedsEgglog())) {
     std::fprintf(stderr, "egglog setup failed: %s\n", F.error().c_str());
@@ -114,6 +123,7 @@ Series runEgglog(bool SemiNaive, unsigned Iterations, size_t NodeLimit) {
     double StepRebuild = 0;
     for (const IterationStats &Stats : Report.Iterations) {
       Result.SearchSeconds += Stats.SearchSeconds;
+      Result.ApplySeconds += Stats.ApplySeconds;
       StepRebuild += Stats.RebuildSeconds;
     }
     Result.RebuildSeconds += StepRebuild;
@@ -131,10 +141,17 @@ Series runEgglog(bool SemiNaive, unsigned Iterations, size_t NodeLimit) {
 int main(int argc, char **argv) {
   std::vector<const char *> Positional;
   for (int I = 1; I < argc; ++I) {
-    if (std::string(argv[I]) == "--full-rebuild")
+    if (std::string(argv[I]) == "--full-rebuild") {
       FullRebuildFlag = true;
-    else
+    } else if (std::string(argv[I]) == "--threads") {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --threads\n");
+        return 1;
+      }
+      ThreadsFlag = std::max(1, std::atoi(argv[++I]));
+    } else {
       Positional.push_back(argv[I]);
+    }
   }
   unsigned Iterations = Positional.size() > 0 ? std::atoi(Positional[0]) : 30;
   size_t NodeLimit =
@@ -193,8 +210,8 @@ int main(int argc, char **argv) {
   // Machine-readable trajectory records (one JSON object per line).
   // rebuild_tail_s sums the last 10 iterations — the merge-heavy stretch
   // where worklist-driven rebuilding should beat the full sweep.
-  auto EmitJson = [](const char *Bench, const char *System,
-                     const Series &S) {
+  auto EmitJson = [](const char *Bench, const char *System, const Series &S,
+                     unsigned Threads) {
     if (S.ENodes.empty())
       return;
     double RebuildTail = 0;
@@ -204,14 +221,18 @@ int main(int argc, char **argv) {
     for (size_t I = Tail; I < S.RebuildPerIteration.size(); ++I)
       RebuildTail += S.RebuildPerIteration[I];
     std::printf("{\"bench\": \"%s\", \"system\": \"%s\", \"iterations\": "
-                "%zu, \"enodes\": %zu, \"search_s\": %.6f, \"rebuild_s\": "
+                "%zu, \"enodes\": %zu, \"threads\": %u, \"search_s\": %.6f, "
+                "\"match_s\": %.6f, \"apply_s\": %.6f, \"rebuild_s\": "
                 "%.6f, \"rebuild_tail_s\": %.6f, \"total_s\": %.6f}\n",
-                Bench, System, S.ENodes.size(), S.ENodes.back(),
-                S.SearchSeconds, S.RebuildSeconds, RebuildTail,
-                S.CumulativeSeconds.back());
+                Bench, System, S.ENodes.size(), S.ENodes.back(), Threads,
+                S.SearchSeconds, S.SearchSeconds, S.ApplySeconds,
+                S.RebuildSeconds, RebuildTail, S.CumulativeSeconds.back());
   };
-  EmitJson("math", "egg", Egg);
-  EmitJson("math", "egglogNI", NI);
-  EmitJson("math", "egglog", Full);
+  // The egg baseline is always serial; only the egglog systems honor
+  // --threads, and their records must say so or the trajectory would
+  // attribute thread counts to runs that never used them.
+  EmitJson("math", "egg", Egg, 1);
+  EmitJson("math", "egglogNI", NI, ThreadsFlag);
+  EmitJson("math", "egglog", Full, ThreadsFlag);
   return 0;
 }

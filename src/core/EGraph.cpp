@@ -276,6 +276,11 @@ unsigned EGraph::rebuild() {
   return ForceFullRebuild ? rebuildFullSweep() : rebuildIncremental();
 }
 
+void EGraph::warm() {
+  for (const auto &Info : Functions)
+    Info->Storage->warmOccurrences();
+}
+
 bool EGraph::rewriteRow(FunctionId Func, size_t Row, std::vector<Value> &Buffer,
                         bool &Rewritten) {
   Table &T = *Functions[Func]->Storage;

@@ -182,6 +182,15 @@ public:
   /// True if unions have happened since the last rebuild.
   bool needsRebuild() const { return UnionsDirty; }
 
+  /// Phase-separated engine warm-up (DESIGN.md "Match/apply phase
+  /// separation"): hoists lazy database-side mutations off the match
+  /// phase's read path. Currently that is the per-table occurrence-index
+  /// catch-up, so the rebuild that follows a match phase drains its
+  /// worklist against an up-to-date index instead of paying the
+  /// appended-suffix scan mid-rebuild. The per-query-shape index caches
+  /// are warmed separately by QueryExecutor::warm.
+  void warm();
+
   //===--------------------------------------------------------------------===
   // Expression and action evaluation
   //===--------------------------------------------------------------------===

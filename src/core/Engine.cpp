@@ -7,12 +7,86 @@
 #include "core/Engine.h"
 
 #include "core/Query.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <thread>
 
 using namespace egglog;
+
+// Out of line so Engine.h can hold ThreadPool behind a forward
+// declaration.
+Engine::Engine(EGraph &Graph) : Graph(Graph) {
+  RulesetNames.push_back(""); // the default ruleset
+}
+Engine::~Engine() = default;
+
+void Engine::setThreads(unsigned N) {
+  // Clamp to a sane span: spawning threads far beyond the hardware only
+  // adds scheduling overhead, and an absurd request (every entry point —
+  // set-option, --threads flags, direct API — funnels through here) must
+  // not make ThreadPool's constructor throw on resource exhaustion.
+  unsigned Hardware = std::thread::hardware_concurrency();
+  unsigned Cap = std::max(8u, 4 * Hardware); // hardware_concurrency may be 0
+  NumThreads = std::clamp(N, 1u, std::min(Cap, 256u));
+  // A differently-sized pool is recreated lazily by the next parallel run.
+  if (Pool && Pool->threads() != NumThreads)
+    Pool.reset();
+}
+
+namespace {
+
+/// True if every primitive computation in \p Q is safe to run on the
+/// read-only parallel match path. Classified conservatively by signature:
+/// a primitive whose output is interned (string / rational / set) mutates
+/// the interners, and one taking an id or container argument may
+/// canonicalize (union-find path-compression writes, set re-interning).
+/// Rules failing this run in the serial prelude of the match phase.
+bool queryIsParallelSafe(const EGraph &G, const Query &Q) {
+  for (const PrimComputation &P : Q.Prims) {
+    const Primitive &Prim = G.primitives().get(P.Prim);
+    switch (G.sorts().kind(Prim.OutSort)) {
+    case SortKind::Unit:
+    case SortKind::Bool:
+    case SortKind::I64:
+    case SortKind::F64:
+      break;
+    default:
+      return false;
+    }
+    for (SortId Arg : Prim.ArgSorts) {
+      SortKind Kind = G.sorts().kind(Arg);
+      if (Kind == SortKind::User || Kind == SortKind::Set)
+        return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+void Engine::ensureVariantExecutors() {
+  if (VariantExecutors.size() == Rules.size())
+    return;
+  VariantExecutors.clear();
+  VariantExecutors.reserve(Rules.size());
+  RuleParallelSafe.clear();
+  RuleParallelSafe.reserve(Rules.size());
+  for (const Rule &R : Rules) {
+    // One context per semi-naïve delta variant; slot 0 doubles as the
+    // non-incremental (full) context, so a rule always has at least one.
+    size_t NumVariants = std::max<size_t>(1, R.Body.Atoms.size());
+    std::vector<std::unique_ptr<QueryExecutor>> Variants;
+    Variants.reserve(NumVariants);
+    for (size_t V = 0; V < NumVariants; ++V)
+      Variants.push_back(std::make_unique<QueryExecutor>(Graph, R.Body));
+    VariantExecutors.push_back(std::move(Variants));
+    RuleParallelSafe.push_back(queryIsParallelSafe(Graph, R.Body));
+  }
+}
 
 size_t Engine::addRule(Rule R) {
   assert(R.Ruleset < RulesetNames.size() && "rule names an unknown ruleset");
@@ -91,14 +165,23 @@ RunReport Engine::run(const RunOptions &Options) {
   RunReport Report;
   Timer Total;
 
-  // (Re)create the per-rule execution contexts if rules were added since
-  // the last run (Rules may have reallocated, invalidating the Query
-  // references the executors hold).
-  if (Executors.size() != Rules.size()) {
+  // (Re)create the execution contexts if rules were added since the last
+  // run (Rules may have reallocated, invalidating the Query references
+  // the executors hold; a size mismatch is the only way that happens —
+  // restore() clears both sets outright). Each mode validates only its
+  // own contexts, so a parallel-only session never builds the serial
+  // per-rule executors and alternating modes doesn't thrash either set.
+  const bool Parallel = NumThreads > 1;
+  if (!Parallel && Executors.size() != Rules.size()) {
     Executors.clear();
     Executors.reserve(Rules.size());
     for (const Rule &R : Rules)
       Executors.push_back(std::make_unique<QueryExecutor>(Graph, R.Body));
+  }
+  if (Parallel) {
+    ensureVariantExecutors();
+    if (!Pool)
+      Pool = std::make_unique<ThreadPool>(NumThreads);
   }
 
   // Top-level unions between runs leave the database non-canonical; queries
@@ -124,87 +207,248 @@ RunReport Engine::run(const RunOptions &Options) {
     IterationStats Stats;
     Timer Phase;
 
-    //=== Search phase: collect matches for every runnable rule. ===========
-    // Matches are collected per rule into a flat arena (NumVars values per
-    // match) rather than one heap vector per match. Rules outside the
-    // selected ruleset are skipped entirely; their DeltaStart stays put, so
-    // when their ruleset next runs, the delta covers everything that
-    // happened in between (phased schedules stay semi-naïve-correct).
-    std::vector<std::vector<Value>> AllMatches(Rules.size());
-    std::vector<size_t> MatchCounts(Rules.size(), 0);
-    bool AnyBanned = false;
-    for (size_t R = 0; R < Rules.size(); ++R) {
-      if (Rules[R].Ruleset != Options.Ruleset)
-        continue;
-      RuleState &State = States[R];
-      if (Options.UseBackoff && GlobalIteration < State.BannedUntil) {
-        AnyBanned = true;
-        continue;
-      }
-      const Rule &TheRule = Rules[R];
-      const Query &Body = TheRule.Body;
-      std::vector<Value> &Matches = AllMatches[R];
-      size_t &Count = MatchCounts[R];
-
+    auto TimedOutNow = [&] {
+      return Options.TimeoutSeconds > 0 &&
+             Total.seconds() > Options.TimeoutSeconds;
+    };
+    auto RuleThreshold = [&](size_t R) {
       // BackOff threshold: collection aborts as soon as a rule exceeds it
       // (the matches would be dropped anyway, and collecting them all can
       // exhaust memory on explosive rule sets).
-      uint64_t Threshold =
-          Options.UseBackoff
-              ? (Options.BackoffMatchLimit << State.TimesBanned)
-              : UINT64_MAX;
-      auto TimedOutNow = [&] {
-        return Options.TimeoutSeconds > 0 &&
-               Total.seconds() > Options.TimeoutSeconds;
-      };
-      std::function<bool()> Cancel = [&] {
-        return TimedOutNow() || Count > Threshold;
-      };
-      bool Incremental = Options.SemiNaive && State.DeltaStart > 0 &&
-                         !Body.Atoms.empty();
-      if (!Incremental) {
-        Executors[R]->executeCollect({}, 0, Matches, Count,
-                                     Options.GenericJoin, &Cancel);
-      } else {
-        // One delta variant per atom (§4.3), all sharing the rule's
-        // persistent execution context and the cached table indexes.
-        Executors[R]->executeDeltaCollect(State.DeltaStart, Matches, Count,
-                                          Options.GenericJoin, &Cancel);
-      }
-      if (TimedOutNow()) {
-        Report.TimedOut = true;
-        Report.Iterations.push_back(Stats);
-        Report.TotalSeconds = Total.seconds();
-        return Report;
-      }
+      return Options.UseBackoff
+                 ? (Options.BackoffMatchLimit << States[R].TimesBanned)
+                 : UINT64_MAX;
+    };
 
-      // BackOff scheduling: drop matches and ban the rule if it exceeded
-      // its (exponentially growing) threshold. The rule's DeltaStart is
-      // left untouched so the dropped work is re-derived after the ban.
-      if (Count > Threshold) {
-        uint64_t BanSpan = Options.BackoffBanLength << State.TimesBanned;
-        State.BannedUntil = GlobalIteration + BanSpan;
-        ++State.TimesBanned;
-        AnyBanned = true;
-        Count = 0;
-        Matches.clear();
-        Matches.shrink_to_fit();
-        continue;
+    //=== Match phase: collect matches for every runnable rule. ============
+    // Matches are collected into flat arenas (NumVars values per match),
+    // one chunk per rule in serial mode and one per (rule, delta variant)
+    // in parallel mode; either way the apply phase drains them in (rule
+    // declaration, variant, match) order, so the database mutation order —
+    // and with it every fresh id and liveContentHash — is independent of
+    // the thread count. Rules outside the selected ruleset are skipped
+    // entirely; their DeltaStart stays put, so when their ruleset next
+    // runs, the delta covers everything that happened in between (phased
+    // schedules stay semi-naïve-correct).
+    struct MatchChunk {
+      size_t Rule = 0;
+      std::vector<Value> Arena;
+      size_t Count = 0;
+    };
+    std::vector<MatchChunk> Chunks;
+    bool AnyBanned = false;
+    bool SearchTimedOut = false;
+
+    if (!Parallel) {
+      // The classic serial loop: search and bookkeeping interleaved per
+      // rule, lazily refreshing table indexes on the way.
+      Chunks.reserve(Rules.size());
+      for (size_t R = 0; R < Rules.size(); ++R) {
+        if (Rules[R].Ruleset != Options.Ruleset)
+          continue;
+        RuleState &State = States[R];
+        if (Options.UseBackoff && GlobalIteration < State.BannedUntil) {
+          AnyBanned = true;
+          continue;
+        }
+        const Query &Body = Rules[R].Body;
+        Chunks.emplace_back();
+        MatchChunk &Chunk = Chunks.back();
+        Chunk.Rule = R;
+
+        uint64_t Threshold = RuleThreshold(R);
+        std::function<bool()> Cancel = [&] {
+          return TimedOutNow() || Chunk.Count > Threshold;
+        };
+        bool Incremental = Options.SemiNaive && State.DeltaStart > 0 &&
+                           !Body.Atoms.empty();
+        if (!Incremental) {
+          Executors[R]->executeCollect({}, 0, Chunk.Arena, Chunk.Count,
+                                       Options.GenericJoin, &Cancel);
+        } else {
+          // One delta variant per atom (§4.3), all sharing the rule's
+          // persistent execution context and the cached table indexes.
+          Executors[R]->executeDeltaCollect(State.DeltaStart, Chunk.Arena,
+                                            Chunk.Count, Options.GenericJoin,
+                                            &Cancel);
+        }
+        if (TimedOutNow()) {
+          SearchTimedOut = true;
+          break;
+        }
+
+        // BackOff scheduling: drop matches and ban the rule if it exceeded
+        // its (exponentially growing) threshold. The rule's DeltaStart is
+        // left untouched so the dropped work is re-derived after the ban.
+        if (Chunk.Count > Threshold) {
+          uint64_t BanSpan = Options.BackoffBanLength << State.TimesBanned;
+          State.BannedUntil = GlobalIteration + BanSpan;
+          ++State.TimesBanned;
+          AnyBanned = true;
+          Chunks.pop_back();
+          continue;
+        }
+        State.DeltaStart = Graph.timestamp() + 1;
+        Stats.Matches += Chunk.Count;
       }
-      State.DeltaStart = Graph.timestamp() + 1;
-      Stats.Matches += Count;
+    } else {
+      //--- Warm-up: hoist every lazy mutation off the read path. ---------
+      // After this pre-pass the database is untouched until apply: tables
+      // catch their occurrence indexes up, and each work item's warm()
+      // builds/refreshes the column indexes and partition counts its
+      // read-only execution will peek at, and canonicalizes its query
+      // constants.
+      Graph.warm();
+      struct WorkItem {
+        size_t Rule = 0;
+        QueryExecutor *Exec = nullptr;
+        /// Per-atom delta restriction; empty = unrestricted (the full,
+        /// non-incremental search).
+        std::vector<AtomFilter> Filters;
+        uint32_t Bound = 0;
+        std::vector<Value> Arena;
+        size_t Count = 0;
+        /// Share of Count already added to the rule's shared counter (for
+        /// cross-variant BackOff cancellation).
+        uint64_t Published = 0;
+      };
+      std::vector<WorkItem> Items; // (rule, variant) ascending
+      for (size_t R = 0; R < Rules.size(); ++R) {
+        if (Rules[R].Ruleset != Options.Ruleset)
+          continue;
+        RuleState &State = States[R];
+        if (Options.UseBackoff && GlobalIteration < State.BannedUntil) {
+          AnyBanned = true;
+          continue;
+        }
+        const Query &Body = Rules[R].Body;
+        bool Incremental = Options.SemiNaive && State.DeltaStart > 0 &&
+                           !Body.Atoms.empty();
+        size_t NumVariants = Incremental ? Body.Atoms.size() : 1;
+        for (size_t V = 0; V < NumVariants; ++V) {
+          WorkItem Item;
+          Item.Rule = R;
+          Item.Exec = VariantExecutors[R][V].get();
+          if (Incremental) {
+            Item.Bound = State.DeltaStart;
+            makeDeltaVariantFilters(Item.Filters, V, Body.Atoms.size());
+          }
+          Items.push_back(std::move(Item));
+        }
+      }
+      // Only items headed for the read-only fan-out need warming: the
+      // serial prelude's executeCollect performs the same (mutating)
+      // materialize itself.
+      for (WorkItem &Item : Items)
+        if (RuleParallelSafe[Item.Rule])
+          Item.Exec->warm(Item.Filters, Item.Bound);
+      Stats.WarmSeconds = Phase.seconds();
+
+      //--- Match: serial prelude, then the fan-out. ----------------------
+      auto RuleCounts =
+          std::make_unique<std::atomic<uint64_t>[]>(Rules.size());
+      auto RunItem = [&](WorkItem &Item, bool ReadOnlyPath) {
+        uint64_t Threshold = RuleThreshold(Item.Rule);
+        std::function<bool()> Cancel = [&Item, &RuleCounts, &TimedOutNow,
+                                        Threshold] {
+          if (TimedOutNow())
+            return true;
+          if (Threshold == UINT64_MAX)
+            return false;
+          // Publish this variant's progress so sibling variants of an
+          // over-matching rule abort too. The ban decision stays
+          // deterministic: an abort fires only once the published total
+          // exceeds the threshold, and then the final total — published
+          // counts only ever grow — exceeds it as well.
+          uint64_t Unpublished = Item.Count - Item.Published;
+          if (Unpublished) {
+            RuleCounts[Item.Rule].fetch_add(Unpublished,
+                                            std::memory_order_relaxed);
+            Item.Published = Item.Count;
+          }
+          return RuleCounts[Item.Rule].load(std::memory_order_relaxed) >
+                 Threshold;
+        };
+        if (ReadOnlyPath)
+          Item.Exec->executeCollectReadOnly(Item.Filters, Item.Bound,
+                                            Item.Arena, Item.Count,
+                                            Options.GenericJoin, &Cancel);
+        else
+          Item.Exec->executeCollect(Item.Filters, Item.Bound, Item.Arena,
+                                    Item.Count, Options.GenericJoin,
+                                    &Cancel);
+      };
+      // Serial prelude: rules whose query primitives may intern values or
+      // canonicalize ids (see queryIsParallelSafe) mutate structures the
+      // read-only workers read, so they run here first, on this thread, in
+      // declaration order — which also keeps their interning order
+      // deterministic.
+      for (WorkItem &Item : Items)
+        if (!RuleParallelSafe[Item.Rule])
+          RunItem(Item, /*ReadOnlyPath=*/false);
+      std::vector<size_t> ParallelItems;
+      ParallelItems.reserve(Items.size());
+      for (size_t I = 0; I < Items.size(); ++I)
+        if (RuleParallelSafe[Items[I].Rule])
+          ParallelItems.push_back(I);
+      Pool->parallelFor(ParallelItems.size(), [&](size_t K) {
+        RunItem(Items[ParallelItems[K]], /*ReadOnlyPath=*/true);
+      });
+
+      if (TimedOutNow()) {
+        SearchTimedOut = true;
+      } else {
+        // Per-rule totals drive BackOff and the semi-naïve bookkeeping
+        // exactly as the serial loop does.
+        std::vector<uint64_t> RuleTotal(Rules.size(), 0);
+        std::vector<char> RuleRan(Rules.size(), 0);
+        for (const WorkItem &Item : Items) {
+          RuleTotal[Item.Rule] += Item.Count;
+          RuleRan[Item.Rule] = 1;
+        }
+        std::vector<char> RuleDropped(Rules.size(), 0);
+        for (size_t R = 0; R < Rules.size(); ++R) {
+          if (!RuleRan[R])
+            continue;
+          RuleState &State = States[R];
+          if (RuleTotal[R] > RuleThreshold(R)) {
+            uint64_t BanSpan = Options.BackoffBanLength << State.TimesBanned;
+            State.BannedUntil = GlobalIteration + BanSpan;
+            ++State.TimesBanned;
+            AnyBanned = true;
+            RuleDropped[R] = 1;
+            continue;
+          }
+          State.DeltaStart = Graph.timestamp() + 1;
+          Stats.Matches += RuleTotal[R];
+        }
+        Chunks.reserve(Items.size());
+        for (WorkItem &Item : Items) {
+          if (RuleDropped[Item.Rule])
+            continue;
+          Chunks.push_back(
+              MatchChunk{Item.Rule, std::move(Item.Arena), Item.Count});
+        }
+      }
     }
     Stats.SearchSeconds = Phase.seconds();
+    if (SearchTimedOut) {
+      Report.TimedOut = true;
+      Report.Iterations.push_back(Stats);
+      Report.TotalSeconds = Total.seconds();
+      return Report;
+    }
 
-    //=== Apply phase: run the actions of all collected matches. ===========
+    //=== Apply phase: run the actions of all collected matches, chunk by
+    //=== chunk in the deterministic (rule, variant, match) order. =========
     Phase.reset();
     Graph.bumpTimestamp();
     std::vector<Value> Env;
-    for (size_t R = 0; R < Rules.size(); ++R) {
-      const Rule &TheRule = Rules[R];
+    for (MatchChunk &Chunk : Chunks) {
+      const Rule &TheRule = Rules[Chunk.Rule];
       size_t Stride = TheRule.Body.NumVars;
-      for (size_t M = 0; M < MatchCounts[R]; ++M) {
-        const Value *Match = AllMatches[R].data() + M * Stride;
+      for (size_t M = 0; M < Chunk.Count; ++M) {
+        const Value *Match = Chunk.Arena.data() + M * Stride;
         Env.assign(Match, Match + Stride);
         Env.resize(TheRule.NumSlots);
         if (!Graph.runActions(TheRule.Actions, Env)) {
@@ -489,6 +733,8 @@ void Engine::restore(const Snapshot &S) {
   // Executors reference Query objects inside Rules; drop them before the
   // rules so the next run() rebuilds fresh contexts.
   Executors.clear();
+  VariantExecutors.clear();
+  RuleParallelSafe.clear();
   Rules.resize(S.NumRules);
   States = S.States;
   for (size_t Id = RulesetNames.size(); Id > S.NumRulesets; --Id)

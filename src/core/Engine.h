@@ -35,6 +35,7 @@
 
 namespace egglog {
 
+class ThreadPool;
 class Timer;
 
 /// Knobs for one run of the engine.
@@ -65,9 +66,17 @@ struct IterationStats {
   size_t Matches = 0;
   size_t TuplesAfter = 0;
   size_t UnionsAfter = 0;
+  /// Whole match phase. In the phase-separated parallel mode this covers
+  /// warm-up plus the fanned-out matching (so the figure stays comparable
+  /// with the single-threaded loop, where the same cache refreshes happen
+  /// inline); WarmSeconds below breaks out the warm-up share.
   double SearchSeconds = 0;
   double ApplySeconds = 0;
   double RebuildSeconds = 0;
+  /// Warm-up pre-pass of the phase-separated pipeline (index cache
+  /// refresh, occurrence catch-up, constant canonicalization); always 0
+  /// in single-threaded mode, where that work is folded into the search.
+  double WarmSeconds = 0;
   /// Worklist passes the rebuild took (0 = nothing was dirty).
   unsigned RebuildPasses = 0;
 };
@@ -93,9 +102,19 @@ struct RunReport {
 /// programs ((run 5) ... (run 5)) behave like one longer run.
 class Engine {
 public:
-  explicit Engine(EGraph &Graph) : Graph(Graph) {
-    RulesetNames.push_back(""); // the default ruleset
-  }
+  // Out of line (with the destructor) so the ThreadPool member can stay a
+  // forward declaration here.
+  explicit Engine(EGraph &Graph);
+  ~Engine();
+
+  /// Sets the match-phase concurrency. 1 (the default) keeps the classic
+  /// serial search loop; N > 1 phase-separates every iteration into
+  /// warm-up / parallel match / serial apply (see DESIGN.md "Match/apply
+  /// phase separation") with N workers including the calling thread. The
+  /// resulting database is bit-identical for every N — matches are
+  /// buffered per (rule, delta-variant) and applied in declaration order.
+  void setThreads(unsigned N);
+  unsigned threads() const { return NumThreads; }
 
   /// Adds a rule (its Ruleset field selects the ruleset); returns its
   /// index.
@@ -165,6 +184,25 @@ private:
   /// shapes survive across delta variants and iterations. Rebuilt by run()
   /// whenever rules were added (Rules may have reallocated).
   std::vector<std::unique_ptr<QueryExecutor>> Executors;
+
+  /// Match-phase concurrency (see setThreads).
+  unsigned NumThreads = 1;
+  /// Worker pool for the parallel match phase; created lazily by the
+  /// first parallel run and kept across runs (threads park between
+  /// phases).
+  std::unique_ptr<ThreadPool> Pool;
+  /// Parallel mode only: one execution context per (rule, delta variant),
+  /// since a rule's variants run concurrently and each needs its own join
+  /// scratch. Slot 0 doubles as the full (non-incremental) context.
+  /// Invalidated together with Executors.
+  std::vector<std::vector<std::unique_ptr<QueryExecutor>>> VariantExecutors;
+  /// Per rule: true if every primitive in its query is safe on the
+  /// read-only parallel path (cannot intern values or canonicalize);
+  /// unsafe rules are matched serially before the fan-out.
+  std::vector<char> RuleParallelSafe;
+
+  /// (Re)creates VariantExecutors/RuleParallelSafe for the current rules.
+  void ensureVariantExecutors();
   /// Global iteration counter across run() calls (drives ban spans).
   uint64_t GlobalIteration = 0;
   /// Live-content hash at the last candidate saturation point (see

@@ -80,6 +80,8 @@ bool Frontend::executeForm(const SExpr &Form) {
     return execRun(Form);
   if (Head == "run-schedule")
     return execRunSchedule(Form);
+  if (Head == "set-option")
+    return execSetOption(Form);
   if (Head == "push")
     return execPush(Form);
   if (Head == "pop")
@@ -444,9 +446,43 @@ bool Frontend::execRun(const SExpr &Form) {
   } else {
     LastRun = Eng.runSchedule(Leaf, Options);
   }
+  accumulatePhaseTotals();
   if (Graph.failed())
     return fail(Form, Graph.errorMessage());
   return true;
+}
+
+bool Frontend::execSetOption(const SExpr &Form) {
+  if (Form.size() != 3 || !Form[1].isSymbol() || !isKeyword(Form[1]))
+    return fail(Form, "usage: (set-option :option value)");
+  const std::string &Option = Form[1].Text;
+  if (Option == ":threads") {
+    if (!Form[2].isInteger() || Form[2].IntValue < 1)
+      return fail(Form[2], ":threads expects a positive integer");
+    // Bound before narrowing: setThreads clamps far below this anyway,
+    // and a direct cast would wrap huge values (2^32 -> 0).
+    Eng.setThreads(static_cast<unsigned>(
+        std::min<int64_t>(Form[2].IntValue, 1 << 16)));
+    return true;
+  }
+  if (Option == ":node-limit") {
+    if (!Form[2].isInteger() || Form[2].IntValue < 0)
+      return fail(Form[2], ":node-limit expects a non-negative integer");
+    Options.NodeLimit = static_cast<size_t>(Form[2].IntValue);
+    return true;
+  }
+  return fail(Form, "unknown option '" + Option + "'");
+}
+
+void Frontend::accumulatePhaseTotals() {
+  for (const IterationStats &Stats : LastRun.Iterations) {
+    ++Totals.Iterations;
+    Totals.Matches += Stats.Matches;
+    Totals.WarmSeconds += Stats.WarmSeconds;
+    Totals.SearchSeconds += Stats.SearchSeconds;
+    Totals.ApplySeconds += Stats.ApplySeconds;
+    Totals.RebuildSeconds += Stats.RebuildSeconds;
+  }
 }
 
 bool Frontend::parseSchedule(const SExpr &Node, Schedule &Out) {
@@ -510,6 +546,7 @@ bool Frontend::execRunSchedule(const SExpr &Form) {
   Schedule Root =
       Schedule::makeCombinator(Schedule::Kind::Seq, std::move(Children));
   LastRun = Eng.runSchedule(Root, Options);
+  accumulatePhaseTotals();
   if (Graph.failed())
     return fail(Form, Graph.errorMessage());
   return true;

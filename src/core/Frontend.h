@@ -66,6 +66,19 @@ public:
   /// Report of the most recent (run ...) command.
   const RunReport &lastRun() const { return LastRun; }
 
+  /// Cumulative per-phase engine timing over every (run ...) and
+  /// (run-schedule ...) this frontend executed; the egglog_run tool's
+  /// --stats flag dumps it.
+  struct PhaseTotals {
+    size_t Iterations = 0;
+    size_t Matches = 0;
+    double WarmSeconds = 0;
+    double SearchSeconds = 0;
+    double ApplySeconds = 0;
+    double RebuildSeconds = 0;
+  };
+  const PhaseTotals &phaseTotals() const { return Totals; }
+
   /// Evaluates a ground expression in the current database without
   /// creating terms; returns false if it is not present.
   bool evalGround(std::string_view ExprSource, Value &Out);
@@ -86,6 +99,7 @@ private:
   Engine Eng;
   RunOptions Options;
   RunReport LastRun;
+  PhaseTotals Totals;
   std::string ErrorMsg;
   std::vector<std::string> Outputs;
 
@@ -138,11 +152,15 @@ private:
   bool execRun(const SExpr &Form);
   bool execRuleset(const SExpr &Form);
   bool execRunSchedule(const SExpr &Form);
+  bool execSetOption(const SExpr &Form);
   bool execPush(const SExpr &Form);
   bool execPop(const SExpr &Form);
   bool execCheck(const SExpr &Form, bool ExpectFailure);
   bool execExtract(const SExpr &Form);
   bool execTopLevelAction(const SExpr &Form);
+
+  /// Folds LastRun into Totals (called after every engine run).
+  void accumulatePhaseTotals();
 
   bool makeRewriteRule(const SExpr &Lhs, const SExpr &Rhs,
                        const SExpr *WhenList, const std::string &Name,

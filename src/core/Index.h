@@ -53,6 +53,20 @@ enum class AtomFilter : uint8_t {
   New, ///< Live rows stamped at or after the delta bound.
 };
 
+/// Fills \p Filters with variant \p Variant of the semi-naïve delta
+/// expansion over \p NumAtoms atoms (§4.3): atom Variant restricted to
+/// New, atoms before it to Old, atoms after it unrestricted. The single
+/// definition shared by the serial executeDelta loop and the engine's
+/// parallel work items — thread-count determinism depends on the two
+/// paths enumerating identical variants.
+inline void makeDeltaVariantFilters(std::vector<AtomFilter> &Filters,
+                                    size_t Variant, size_t NumAtoms) {
+  Filters.assign(NumAtoms, AtomFilter::All);
+  for (size_t K = 0; K < Variant; ++K)
+    Filters[K] = AtomFilter::Old;
+  Filters[Variant] = AtomFilter::New;
+}
+
 /// One sorted column index: the table's live rows (restricted to a stamp
 /// partition) ordered lexicographically by a column permutation.
 class ColumnIndex {
@@ -97,8 +111,21 @@ public:
   const ColumnIndex &get(const std::vector<unsigned> &Perm, AtomFilter Filter,
                          uint32_t DeltaBound);
 
+  /// Read-only get(): the cached index for the key if it is fresh at the
+  /// table's current version, else nullptr. Never builds, refreshes,
+  /// sweeps, or bumps a stats counter, so concurrent match workers can
+  /// probe one cache safely (DESIGN.md "Match/apply phase separation");
+  /// a single-threaded QueryExecutor::warm pass is what populates it.
+  const ColumnIndex *peek(const std::vector<unsigned> &Perm,
+                          AtomFilter Filter, uint32_t DeltaBound) const;
+
   /// (old, new) live-row counts split at \p Bound; cached per version.
   std::pair<size_t, size_t> partitionCounts(uint32_t Bound);
+
+  /// Read-only partitionCounts(): false unless the counts for \p Bound
+  /// were cached at the table's current version (by a warm pass).
+  bool peekPartitionCounts(uint32_t Bound,
+                           std::pair<size_t, size_t> &Out) const;
 
   /// Drops every cached entry (full bulk invalidation).
   void invalidate();

@@ -109,6 +109,7 @@ struct egglog::QueryExecutor::Impl {
     CollectArena = nullptr;
     CollectCount = nullptr;
     Cancel = nullptr;
+    ReadOnly = false;
   }
 
   void executeDelta(uint32_t DeltaBound, bool UseGenericJoin,
@@ -119,14 +120,10 @@ struct egglog::QueryExecutor::Impl {
     const MatchCallback *TheCallback = Callback;
     std::vector<Value> *Arena = CollectArena;
     size_t *Count = CollectCount;
-    DeltaFilters.assign(NumAtoms, AtomFilter::All);
     for (size_t Delta = 0; Delta < NumAtoms; ++Delta) {
       if (TheCancel && (*TheCancel)())
         break;
-      for (size_t K = 0; K < NumAtoms; ++K)
-        DeltaFilters[K] = K < Delta ? AtomFilter::Old
-                                    : (K == Delta ? AtomFilter::New
-                                                  : AtomFilter::All);
+      makeDeltaVariantFilters(DeltaFilters, Delta, NumAtoms);
       Callback = TheCallback;
       CollectArena = Arena;
       CollectCount = Count;
@@ -140,11 +137,23 @@ struct egglog::QueryExecutor::Impl {
     CollectCount = nullptr;
   }
 
+  /// Runs materialize() alone, for its side effects: after this, an
+  /// execution of the same variant against the unchanged database finds
+  /// every index, partition count, and canonical constant already cached.
+  void warm(const std::vector<AtomFilter> &Filters, uint32_t DeltaBound) {
+    ReadOnly = false;
+    materialize(Filters, DeltaBound);
+  }
+
   /// Match sinks: either a callback or a flat arena (plus match counter).
   /// Exactly one is armed by the QueryExecutor entry points.
   const MatchCallback *Callback = nullptr;
   std::vector<Value> *CollectArena = nullptr;
   size_t *CollectCount = nullptr;
+  /// When set, materialize() only peeks at caches (no builds, refreshes,
+  /// or canonicalization) — the parallel match phase's contract. Armed by
+  /// executeCollectReadOnly, reset by every entry point.
+  bool ReadOnly = false;
 
 private:
   EGraph &Graph;
@@ -239,8 +248,22 @@ private:
           *Graph.function(Atoms[AtomIndex].Atom->Func).Storage;
       size_t Size = T.liveCount();
       if (Filter != AtomFilter::All) {
-        auto [Old, New] = T.indexes().partitionCounts(DeltaBound);
-        Size = Filter == AtomFilter::Old ? Old : New;
+        if (ReadOnly) {
+          // A read-only execution replays exactly the sequence its warm()
+          // ran (same filters, unchanged database), so every count it
+          // needs — up to and including the atom warm() bailed at — is
+          // cached at the current version.
+          const IndexCache *Cache = T.indexCacheIfBuilt();
+          std::pair<size_t, size_t> Split;
+          bool Cached = Cache && Cache->peekPartitionCounts(DeltaBound, Split);
+          assert(Cached && "read-only execution without a fresh warm()");
+          if (!Cached)
+            return false;
+          Size = Filter == AtomFilter::Old ? Split.first : Split.second;
+        } else {
+          auto [Old, New] = T.indexes().partitionCounts(DeltaBound);
+          Size = Filter == AtomFilter::Old ? Old : New;
+        }
       }
       if (Size == 0)
         return false;
@@ -264,7 +287,12 @@ private:
                     });
       Perm.clear();
       for (auto &[Pos, Const] : Exec.Consts) {
-        Const = Graph.canonicalize(Exec.Atom->Terms[Pos].Const);
+        // Read-only executions reuse the canonical constants their warm()
+        // stored here: canonicalize can write (union-find path
+        // compression, set re-interning) and the database has not changed
+        // since the warm pass, so the stored values are still canonical.
+        if (!ReadOnly)
+          Const = Graph.canonicalize(Exec.Atom->Terms[Pos].Const);
         Perm.push_back(Pos);
       }
       for (const AtomCol &Col : Exec.Cols)
@@ -272,10 +300,19 @@ private:
           Perm.push_back(Pos);
 
       const Table &T = *Graph.function(Exec.Atom->Func).Storage;
-      const ColumnIndex &Index = T.indexes().get(Perm, Filter, DeltaBound);
-      Exec.Rows = &Index.rows();
+      const ColumnIndex *Index;
+      if (ReadOnly) {
+        const IndexCache *Cache = T.indexCacheIfBuilt();
+        Index = Cache ? Cache->peek(Perm, Filter, DeltaBound) : nullptr;
+        assert(Index && "read-only execution without a fresh warm()");
+        if (!Index)
+          return false;
+      } else {
+        Index = &T.indexes().get(Perm, Filter, DeltaBound);
+      }
+      Exec.Rows = &Index->rows();
       Exec.Lo = 0;
-      Exec.Hi = Index.size();
+      Exec.Hi = Index->size();
       Exec.Depth = 0;
       for (const auto &[Pos, Const] : Exec.Consts)
         if (!narrowOn(Exec, Pos, Const))
@@ -615,6 +652,21 @@ void QueryExecutor::executeDeltaCollect(uint32_t DeltaBound,
   I->CollectArena = &Arena;
   I->CollectCount = &Count;
   I->executeDelta(DeltaBound, UseGenericJoin, Cancel);
+}
+
+void QueryExecutor::warm(const std::vector<AtomFilter> &Filters,
+                         uint32_t DeltaBound) {
+  I->warm(Filters, DeltaBound);
+}
+
+void QueryExecutor::executeCollectReadOnly(
+    const std::vector<AtomFilter> &Filters, uint32_t DeltaBound,
+    std::vector<Value> &Arena, size_t &Count, bool UseGenericJoin,
+    const std::function<bool()> *Cancel) {
+  I->CollectArena = &Arena;
+  I->CollectCount = &Count;
+  I->ReadOnly = true;
+  I->execute(Filters, DeltaBound, UseGenericJoin, Cancel);
 }
 
 void egglog::executeQuery(EGraph &Graph, const Query &Q,

@@ -74,6 +74,27 @@ public:
                            size_t &Count, bool UseGenericJoin = true,
                            const std::function<bool()> *Cancel = nullptr);
 
+  /// Phase-separated engine pre-pass (single-threaded): performs every
+  /// lazy mutation the matching execute of this filter variant would
+  /// otherwise trigger on the read path — index-cache builds and
+  /// refreshes, stamp-partition counts, and re-canonicalization of the
+  /// query's constant terms (cached on the executor) — so that, until the
+  /// database is next mutated, executeCollectReadOnly with the same
+  /// filters touches the database strictly read-only.
+  void warm(const std::vector<AtomFilter> &Filters, uint32_t DeltaBound);
+
+  /// Strictly read-only executeCollect: probes only the caches a prior
+  /// warm() of this variant populated (asserting they are still fresh)
+  /// and never canonicalizes through the union-find, so executors running
+  /// concurrently over one database cannot race. The caller guarantees
+  /// warm() ran with the same filters against the unchanged database and
+  /// that the query's primitives are themselves read-only (the engine
+  /// checks both; see Engine.cpp queryIsParallelSafe).
+  void executeCollectReadOnly(const std::vector<AtomFilter> &Filters,
+                              uint32_t DeltaBound, std::vector<Value> &Arena,
+                              size_t &Count, bool UseGenericJoin = true,
+                              const std::function<bool()> *Cancel = nullptr);
+
 private:
   struct Impl;
   std::unique_ptr<Impl> I;

@@ -127,6 +127,11 @@ public:
   /// work for tables that never built a cache.
   bool hasIndexCache() const { return Indexes != nullptr; }
 
+  /// The index cache if one was ever created, else null. The engine's
+  /// read-only match phase probes through this instead of indexes() so a
+  /// concurrent probe can never lazily allocate the cache.
+  const IndexCache *indexCacheIfBuilt() const { return Indexes.get(); }
+
   //===--------------------------------------------------------------------===
   // Reverse occurrence index (incremental rebuilding, §5.1)
   //===--------------------------------------------------------------------===
@@ -149,6 +154,15 @@ public:
   /// Upper bound on the rows mentioning any id in \p Ids (dead rows still
   /// in the lists are counted); used by the bulk-sweep heuristic.
   size_t occurrenceCount(const std::vector<uint64_t> &Ids);
+
+  /// Brings the occurrence index up to date with every appended row. The
+  /// phase-separated engine calls this (via EGraph::warm) in its warm-up
+  /// pre-pass, hoisting the lazy catch-up scan off the rebuild that
+  /// follows the match phase.
+  void warmOccurrences() {
+    if (trackingOccurrences())
+      catchUpOccurrences();
+  }
 
   /// Appends the rows whose id columns mention \p IdBits to \p Out (dead
   /// rows are filtered out here) and drops the consumed list: once the

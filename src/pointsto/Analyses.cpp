@@ -74,9 +74,10 @@ const char *EgglogProgram = R"(
 )";
 
 AnalysisResult runEgglog(const Program &P, bool SemiNaive,
-                         double TimeoutSeconds) {
+                         double TimeoutSeconds, unsigned Threads) {
   AnalysisResult Result;
   Frontend F;
+  F.engine().setThreads(Threads);
   if (!F.execute(EgglogProgram)) {
     Result.TimedOut = true;
     return Result;
@@ -125,6 +126,7 @@ AnalysisResult runEgglog(const Program &P, bool SemiNaive,
   Result.Seconds = Clock.seconds();
   for (const IterationStats &Stats : Report.Iterations) {
     Result.SearchSeconds += Stats.SearchSeconds;
+    Result.ApplySeconds += Stats.ApplySeconds;
     Result.RebuildSeconds += Stats.RebuildSeconds;
   }
   Result.TimedOut = Report.TimedOut;
@@ -275,12 +277,13 @@ AnalysisResult runDatalog(const Program &P, System S,
 } // namespace
 
 AnalysisResult egglog::pointsto::runPointsTo(const Program &P, System S,
-                                             double TimeoutSeconds) {
+                                             double TimeoutSeconds,
+                                             unsigned Threads) {
   switch (S) {
   case System::Egglog:
-    return runEgglog(P, /*SemiNaive=*/true, TimeoutSeconds);
+    return runEgglog(P, /*SemiNaive=*/true, TimeoutSeconds, Threads);
   case System::EgglogNI:
-    return runEgglog(P, /*SemiNaive=*/false, TimeoutSeconds);
+    return runEgglog(P, /*SemiNaive=*/false, TimeoutSeconds, Threads);
   case System::EqRelEncoding:
   case System::CClyzer:
   case System::Patched:

@@ -57,9 +57,12 @@ const char *systemName(System S);
 struct AnalysisResult {
   bool TimedOut = false;
   double Seconds = 0;
-  /// Seconds spent in the engine's search phase (egglog systems only;
-  /// zero for the Datalog and classic baselines).
+  /// Seconds spent in the engine's match phase (egglog systems only;
+  /// zero for the Datalog and classic baselines). Includes the warm-up
+  /// pre-pass when running multi-threaded.
   double SearchSeconds = 0;
+  /// Seconds spent in the engine's apply phase (egglog systems only).
+  double ApplySeconds = 0;
   /// Seconds spent in the engine's rebuild phase (egglog systems only).
   double RebuildSeconds = 0;
   /// For each allocation id (base + field), the smallest allocation id it
@@ -74,9 +77,10 @@ struct AnalysisResult {
 };
 
 /// Runs the chosen system on a program. \p TimeoutSeconds of 0 disables
-/// the timeout.
+/// the timeout. \p Threads sets the egglog engine's match-phase
+/// concurrency (ignored by the Datalog baselines).
 AnalysisResult runPointsTo(const Program &P, System S,
-                           double TimeoutSeconds = 0);
+                           double TimeoutSeconds = 0, unsigned Threads = 1);
 
 } // namespace pointsto
 } // namespace egglog

@@ -648,3 +648,40 @@ TEST(LanguageTest, PrintSizeReportsLiveEntries) {
   EXPECT_EQ(F.outputs()[0], "edge: 2");
   EXPECT_EQ(F.outputs()[1], "edge: 1");
 }
+
+TEST(LanguageTest, SetOptionThreads) {
+  // The LANGUAGE.md "set-option" snippet: the parallel match phase must
+  // reach the same closure.
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (relation edge (i64 i64))
+    (relation path (i64 i64))
+    (rule ((edge x y)) ((path x y)))
+    (rule ((path x y) (edge y z)) ((path x z)))
+    (edge 1 2) (edge 2 3) (edge 3 4)
+    (set-option :threads 4)
+    (run)
+    (check (path 1 4))
+  )")) << F.error();
+  EXPECT_EQ(F.engine().threads(), 4u);
+}
+
+TEST(LanguageTest, SetOptionRejectsBadValues) {
+  expectError("(set-option :threads 0)", ":threads");
+  expectError("(set-option :no-such-option 1)", "unknown option");
+  expectError("(set-option :threads)", "usage");
+}
+
+TEST(LanguageTest, SetOptionNodeLimit) {
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (relation edge (i64 i64))
+    (relation path (i64 i64))
+    (rule ((edge x y)) ((path x y)))
+    (rule ((path x y) (edge y z)) ((path x z)))
+    (edge 1 2) (edge 2 3) (edge 3 4) (edge 4 5)
+    (set-option :node-limit 5)
+    (run)
+  )")) << F.error();
+  EXPECT_TRUE(F.lastRun().HitNodeLimit);
+}

@@ -1,0 +1,382 @@
+//===- tests/core/PhaseTest.cpp - Phase-separated engine tests -------------===//
+//
+// Part of egglog-cpp. The phase-separated match/apply pipeline must be
+// observationally invisible: for any thread count the engine produces a
+// bit-identical database (liveContentHash), because matches are buffered
+// per (rule, delta variant) and applied in declaration order. A randomized
+// differential driver (in the style of RebuildTest.cpp) runs the same
+// union/insert/run/push/pop sequence against engines at threads 1, 2, and
+// 8 and compares after every run; and the warm-up contract — after
+// QueryExecutor::warm, a read-only execution performs no Index build or
+// Table version bump — is checked directly against the index stats.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Frontend.h"
+#include "core/Query.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <string>
+
+using namespace egglog;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Randomized differential determinism
+//===----------------------------------------------------------------------===
+
+/// The shared program: relational rules with multi-atom joins (several
+/// delta variants each), term rewrites that mint fresh ids during apply,
+/// a safe i64 primitive (parallel path), and two parallel-unsafe query
+/// primitives — a rational constructor (interns) and the polymorphic !=
+/// over ids (canonicalizes) — exercising the serial prelude.
+const char *DeterminismProgram = R"(
+  (datatype E (Leaf i64) (Join E E))
+  (relation edge (i64 i64))
+  (relation path (i64 i64))
+  (relation weight (i64 i64))
+  (relation ratio (i64 Rational))
+  (relation distinct (i64))
+  (rule ((edge x y)) ((path x y)))
+  (rule ((path x y) (edge y z)) ((path x z)))
+  (rule ((path x y) (path y z) (< x z)) ((weight x z)))
+  (rewrite (Join a b) (Join b a))
+  (rule ((weight x y) (= r (rational x 3))) ((ratio x r)))
+  (rule ((Join a b) (!= a b)) ((distinct 1)))
+  (Join (Leaf 100) (Leaf 101))
+  (Join (Join (Leaf 102) (Leaf 103)) (Leaf 104))
+)";
+
+struct TestEngine {
+  Frontend F;
+  size_t Depth = 0;
+
+  explicit TestEngine(unsigned Threads) {
+    EXPECT_TRUE(F.execute(DeterminismProgram)) << F.error();
+    F.engine().setThreads(Threads);
+  }
+};
+
+class DeterminismDriver {
+public:
+  explicit DeterminismDriver(uint32_t Seed)
+      : Engines{TestEngine(1), TestEngine(2), TestEngine(8)}, Rng(Seed) {}
+
+  void run(unsigned Steps) {
+    for (unsigned Step = 0; Step < Steps; ++Step) {
+      switch (pick(10)) {
+      case 0:
+      case 1:
+      case 2:
+        addEdge();
+        break;
+      case 3:
+      case 4:
+        addTerm();
+        break;
+      case 5:
+        addUnion();
+        break;
+      case 6:
+      case 7:
+        runRules();
+        break;
+      case 8:
+        pushOrPop();
+        break;
+      case 9:
+        runRules();
+        break;
+      }
+    }
+    runRules();
+    compareExtraction();
+  }
+
+private:
+  TestEngine Engines[3];
+  std::mt19937 Rng;
+
+  uint64_t pick(uint64_t Bound) {
+    return std::uniform_int_distribution<uint64_t>(0, Bound - 1)(Rng);
+  }
+
+  void all(const std::string &Program) {
+    for (TestEngine &E : Engines)
+      ASSERT_TRUE(E.F.execute(Program)) << E.F.error() << " in " << Program;
+  }
+
+  void addEdge() {
+    std::string I = std::to_string(pick(12)), J = std::to_string(pick(12));
+    all("(edge " + I + " " + J + ")");
+  }
+
+  void addTerm() {
+    std::string I = std::to_string(pick(8)), J = std::to_string(pick(8));
+    all("(Join (Leaf " + I + ") (Leaf " + J + "))");
+  }
+
+  void addUnion() {
+    std::string I = std::to_string(pick(8)), J = std::to_string(pick(8));
+    all("(union (Leaf " + I + ") (Leaf " + J + "))");
+  }
+
+  void runRules() {
+    all("(run " + std::to_string(1 + pick(3)) + ")");
+    compareDatabases();
+  }
+
+  void pushOrPop() {
+    bool Pop = Engines[0].Depth > 0 && pick(2) == 0;
+    if (Pop) {
+      all("(pop)");
+      for (TestEngine &E : Engines)
+        --E.Depth;
+      compareDatabases();
+    } else if (Engines[0].Depth < 3) {
+      all("(push)");
+      for (TestEngine &E : Engines)
+        ++E.Depth;
+    }
+  }
+
+  void compareDatabases() {
+    EGraph &Base = Engines[0].F.graph();
+    for (int E = 1; E < 3; ++E) {
+      EGraph &Other = Engines[E].F.graph();
+      ASSERT_EQ(Base.liveTupleCount(), Other.liveTupleCount())
+          << "tuple count diverged at " << Engines[E].F.engine().threads()
+          << " threads";
+      ASSERT_EQ(Base.unionFind().unionCount(),
+                Other.unionFind().unionCount())
+          << "union count diverged at " << Engines[E].F.engine().threads()
+          << " threads";
+      ASSERT_EQ(Base.liveContentHash(), Other.liveContentHash())
+          << "content diverged at " << Engines[E].F.engine().threads()
+          << " threads";
+    }
+  }
+
+  void compareExtraction() {
+    // The seed terms predate every push, so they are present in any
+    // context; the extracted representatives must agree exactly.
+    for (const char *Term :
+         {"(Leaf 100)", "(Join (Leaf 100) (Leaf 101))",
+          "(Join (Join (Leaf 102) (Leaf 103)) (Leaf 104))"}) {
+      for (TestEngine &E : Engines)
+        E.F.clearOutputs();
+      all(std::string("(extract ") + Term + ")");
+      ASSERT_EQ(Engines[0].F.outputs().size(), 1u);
+      for (int E = 1; E < 3; ++E)
+        ASSERT_EQ(Engines[0].F.outputs(), Engines[E].F.outputs())
+            << "extraction diverged for " << Term;
+    }
+  }
+};
+
+TEST(PhaseDeterminismTest, DifferentialRandomSequences) {
+  for (uint32_t Seed : {3u, 17u, 2026u}) {
+    DeterminismDriver Driver(Seed);
+    Driver.run(120);
+    if (::testing::Test::HasFatalFailure())
+      FAIL() << "diverged at seed " << Seed;
+  }
+}
+
+TEST(PhaseDeterminismTest, BackoffBansMatchSerial) {
+  // The explosive product rule over-matches immediately; the ban decision
+  // (collected total > threshold) must agree across thread counts even
+  // though parallel collection aborts cooperatively.
+  const char *Program = R"(
+    (relation item (i64))
+    (relation pair (i64 i64))
+    (rule ((item x) (item y)) ((pair x y)))
+  )";
+  Frontend Serial, Wide;
+  ASSERT_TRUE(Serial.execute(Program)) << Serial.error();
+  ASSERT_TRUE(Wide.execute(Program)) << Wide.error();
+  Wide.engine().setThreads(8);
+  for (Frontend *F : {&Serial, &Wide}) {
+    F->runOptions().UseBackoff = true;
+    F->runOptions().BackoffMatchLimit = 100;
+    std::string Facts;
+    for (int I = 0; I < 40; ++I) // 1600 pairs > limit: banned
+      Facts += "(item " + std::to_string(I) + ")\n";
+    ASSERT_TRUE(F->execute(Facts + "(run 20)")) << F->error();
+  }
+  EXPECT_EQ(Serial.graph().liveContentHash(), Wide.graph().liveContentHash());
+  EXPECT_EQ(Serial.lastRun().totalMatches(), Wide.lastRun().totalMatches());
+}
+
+//===----------------------------------------------------------------------===
+// Warm-up contract
+//===----------------------------------------------------------------------===
+
+/// edge relation over i64 pairs plus the triangle query edge(x,y) ∧
+/// edge(y,z) ∧ edge(z,x), small but join-heavy.
+struct TriangleDb {
+  EGraph G;
+  FunctionId Edge = 0;
+  Query Q;
+
+  TriangleDb() {
+    FunctionDecl Decl;
+    Decl.Name = "edge";
+    Decl.ArgSorts = {SortTable::I64Sort, SortTable::I64Sort};
+    Decl.OutSort = SortTable::UnitSort;
+    Edge = G.declareFunction(std::move(Decl));
+
+    Q.NumVars = 3;
+    Q.VarSorts = {SortTable::I64Sort, SortTable::I64Sort,
+                  SortTable::I64Sort};
+    auto Atom = [&](uint32_t A, uint32_t B) {
+      QueryAtom Result;
+      Result.Func = Edge;
+      Result.Terms = {VarOrConst::makeVar(A), VarOrConst::makeVar(B),
+                      VarOrConst::makeConst(G.mkUnit())};
+      return Result;
+    };
+    Q.Atoms = {Atom(0, 1), Atom(1, 2), Atom(2, 0)};
+  }
+
+  void addEdges(unsigned Count, uint32_t Seed) {
+    std::mt19937 Rng(Seed);
+    std::uniform_int_distribution<int64_t> Node(0, 31);
+    for (unsigned I = 0; I < Count; ++I) {
+      Value Keys[2] = {G.mkI64(Node(Rng)), G.mkI64(Node(Rng))};
+      G.setValue(Edge, Keys, G.mkUnit());
+    }
+  }
+};
+
+TEST(WarmUpContractTest, ReadOnlyExecutionAfterWarm) {
+  TriangleDb Db;
+  Db.addEdges(300, 5);
+
+  // Reference matches through the classic mutating path.
+  QueryExecutor Reference(Db.G, Db.Q);
+  std::vector<Value> Expected;
+  size_t ExpectedCount = 0;
+  Reference.executeCollect({}, 0, Expected, ExpectedCount);
+
+  QueryExecutor Exec(Db.G, Db.Q);
+  Exec.warm({}, 0);
+
+  const Table &T = *Db.G.function(Db.Edge).Storage;
+  uint64_t VersionBefore = T.version();
+  IndexCache::Stats Before = T.indexes().stats();
+
+  std::vector<Value> Got;
+  size_t GotCount = 0;
+  Exec.executeCollectReadOnly({}, 0, Got, GotCount);
+
+  // Same matches in the same order...
+  EXPECT_EQ(GotCount, ExpectedCount);
+  EXPECT_EQ(Got, Expected);
+  // ...with zero database-side work: no version bump and no index
+  // builds/refreshes/derivations after the warm pre-pass.
+  EXPECT_EQ(T.version(), VersionBefore);
+  IndexCache::Stats After = T.indexes().stats();
+  EXPECT_EQ(After.Builds, Before.Builds);
+  EXPECT_EQ(After.Refreshes, Before.Refreshes);
+  EXPECT_EQ(After.Derivations, Before.Derivations);
+}
+
+TEST(WarmUpContractTest, ReadOnlyDeltaVariantsAfterWarm) {
+  TriangleDb Db;
+  Db.addEdges(150, 6);
+  Db.G.bumpTimestamp();
+  uint32_t Bound = Db.G.timestamp();
+  Db.addEdges(80, 7); // the "new" partition
+
+  size_t NumAtoms = Db.Q.Atoms.size();
+  for (size_t Variant = 0; Variant < NumAtoms; ++Variant) {
+    std::vector<AtomFilter> Filters;
+    makeDeltaVariantFilters(Filters, Variant, NumAtoms);
+
+    QueryExecutor Reference(Db.G, Db.Q);
+    std::vector<Value> Expected;
+    size_t ExpectedCount = 0;
+    Reference.executeCollect(Filters, Bound, Expected, ExpectedCount);
+
+    QueryExecutor Exec(Db.G, Db.Q);
+    Exec.warm(Filters, Bound);
+    const Table &T = *Db.G.function(Db.Edge).Storage;
+    uint64_t VersionBefore = T.version();
+    IndexCache::Stats Before = T.indexes().stats();
+
+    std::vector<Value> Got;
+    size_t GotCount = 0;
+    Exec.executeCollectReadOnly(Filters, Bound, Got, GotCount);
+
+    EXPECT_EQ(GotCount, ExpectedCount) << "variant " << Variant;
+    EXPECT_EQ(Got, Expected) << "variant " << Variant;
+    EXPECT_EQ(T.version(), VersionBefore) << "variant " << Variant;
+    IndexCache::Stats After = T.indexes().stats();
+    EXPECT_EQ(After.Builds, Before.Builds) << "variant " << Variant;
+    EXPECT_EQ(After.Refreshes, Before.Refreshes) << "variant " << Variant;
+    EXPECT_EQ(After.Derivations, Before.Derivations) << "variant " << Variant;
+  }
+}
+
+TEST(WarmUpContractTest, EngineMatchPhaseKeepsVersionsStable) {
+  // End to end: a parallel run's match phases must not bump any table
+  // version except through apply/rebuild. Saturate first, then run once
+  // more — the extra iteration is pure matching (no new tuples), so every
+  // version must stay put.
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (relation edge (i64 i64))
+    (relation path (i64 i64))
+    (rule ((edge x y)) ((path x y)))
+    (rule ((path x y) (edge y z)) ((path x z)))
+    (edge 0 1) (edge 1 2) (edge 2 3) (edge 3 4)
+  )")) << F.error();
+  F.engine().setThreads(4);
+  ASSERT_TRUE(F.execute("(run 100)")) << F.error();
+
+  EGraph &G = F.graph();
+  std::vector<uint64_t> Versions;
+  for (size_t Fn = 0; Fn < G.numFunctions(); ++Fn)
+    Versions.push_back(G.function(Fn).Storage->version());
+  ASSERT_TRUE(F.execute("(run 1)")) << F.error();
+  for (size_t Fn = 0; Fn < G.numFunctions(); ++Fn)
+    EXPECT_EQ(G.function(Fn).Storage->version(), Versions[Fn])
+        << "function " << Fn << " mutated during a no-op match phase";
+}
+
+//===----------------------------------------------------------------------===
+// Thread pool
+//===----------------------------------------------------------------------===
+
+TEST(ThreadPoolTest, CoversEveryIndexAcrossJobs) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.threads(), 4u);
+  // Repeated jobs on one pool: every index executed exactly once, with
+  // worker writes visible to the caller afterwards.
+  for (unsigned Job = 0; Job < 50; ++Job) {
+    size_t N = 1 + Job * 7 % 97;
+    std::vector<std::atomic<unsigned>> Hits(N);
+    Pool.parallelFor(N, [&](size_t I) {
+      Hits[I].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t I = 0; I < N; ++I)
+      ASSERT_EQ(Hits[I].load(), 1u) << "item " << I << " of job " << Job;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool Pool(1);
+  std::vector<size_t> Order;
+  Pool.parallelFor(8, [&](size_t I) { Order.push_back(I); });
+  ASSERT_EQ(Order.size(), 8u);
+  for (size_t I = 0; I < 8; ++I)
+    EXPECT_EQ(Order[I], I); // inline mode preserves index order
+}
+
+} // namespace

@@ -9,6 +9,8 @@
 //        egglog-run                        read one program from stdin
 //        egglog-run --no-seminaive ...     disable semi-naive evaluation
 //        egglog-run --backoff ...          enable the BackOff scheduler
+//        egglog-run --threads N ...        match rules on N threads
+//        egglog-run --stats ...            dump per-phase timing at exit
 //
 //===----------------------------------------------------------------------===//
 
@@ -40,39 +42,68 @@ int runProgram(Frontend &F, const std::string &Source,
   return 0;
 }
 
+/// --stats: per-phase totals over every (run ...) the programs executed,
+/// on stderr so program output stays pipeable.
+void dumpStats(Frontend &F) {
+  const Frontend::PhaseTotals &T = F.phaseTotals();
+  std::fprintf(stderr,
+               "phase stats: threads %u, iterations %zu, matches %zu\n"
+               "  match   %9.6fs (warm-up %9.6fs)\n"
+               "  apply   %9.6fs\n"
+               "  rebuild %9.6fs\n",
+               F.engine().threads(), T.Iterations, T.Matches,
+               T.SearchSeconds, T.WarmSeconds, T.ApplySeconds,
+               T.RebuildSeconds);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   Frontend F;
   std::vector<std::string> Files;
+  bool Stats = false;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--no-seminaive") == 0)
       F.runOptions().SemiNaive = false;
     else if (std::strcmp(argv[I], "--backoff") == 0)
       F.runOptions().UseBackoff = true;
-    else if (std::strcmp(argv[I], "--help") == 0) {
+    else if (std::strcmp(argv[I], "--stats") == 0)
+      Stats = true;
+    else if (std::strcmp(argv[I], "--threads") == 0) {
+      int N = I + 1 < argc ? std::atoi(argv[++I]) : 0;
+      if (N < 1) {
+        std::fprintf(stderr, "--threads expects a positive integer\n");
+        return 1;
+      }
+      F.engine().setThreads(static_cast<unsigned>(N));
+    } else if (std::strcmp(argv[I], "--help") == 0) {
       std::printf("usage: egglog-run [--no-seminaive] [--backoff] "
-                  "[file.egg ...]\n");
+                  "[--threads N] [--stats] [file.egg ...]\n");
       return 0;
     } else {
       Files.push_back(argv[I]);
     }
   }
 
+  int Status = 0;
   if (Files.empty()) {
     std::string Source(std::istreambuf_iterator<char>(std::cin.rdbuf()), {});
-    return runProgram(F, Source, "<stdin>");
-  }
-  for (const std::string &Path : Files) {
-    std::ifstream Stream(Path);
-    if (!Stream) {
-      std::fprintf(stderr, "cannot open %s\n", Path.c_str());
-      return 1;
+    Status = runProgram(F, Source, "<stdin>");
+  } else {
+    for (const std::string &Path : Files) {
+      std::ifstream Stream(Path);
+      if (!Stream) {
+        std::fprintf(stderr, "cannot open %s\n", Path.c_str());
+        Status = 1;
+        break;
+      }
+      std::stringstream Buffer;
+      Buffer << Stream.rdbuf();
+      if ((Status = runProgram(F, Buffer.str(), Path)))
+        break;
     }
-    std::stringstream Buffer;
-    Buffer << Stream.rdbuf();
-    if (int Status = runProgram(F, Buffer.str(), Path))
-      return Status;
   }
-  return 0;
+  if (Stats)
+    dumpStats(F);
+  return Status;
 }
