@@ -67,6 +67,9 @@ int main(int argc, char **argv) {
 
   std::vector<double> ErrorDiffs, TimeDiffs;
   double SoundTotal = 0, UnsoundTotal = 0;
+  double ExtractTotal = 0;
+  uint64_t ExtractRows = 0;
+  size_t Improved = 0, Completed = 0;
   size_t SoundWins = 0, UnsoundWins = 0, Ties = 0;
 
   for (const Benchmark &Bench : Suite) {
@@ -95,6 +98,12 @@ int main(int argc, char **argv) {
     TimeDiffs.push_back(Unsound.Seconds - Sound.Seconds);
     SoundTotal += Sound.Seconds;
     UnsoundTotal += Unsound.Seconds;
+    ExtractTotal += Sound.ExtractSeconds + Unsound.ExtractSeconds;
+    ExtractRows += Sound.ExtractRowsConsidered + Unsound.ExtractRowsConsidered;
+    ++Completed;
+    if (Sound.FinalErrorBits < Sound.InitialErrorBits ||
+        Unsound.FinalErrorBits < Unsound.InitialErrorBits)
+      ++Improved;
     if (ErrorDiff > 0.1)
       ++SoundWins;
     else if (ErrorDiff < -0.1)
@@ -114,7 +123,16 @@ int main(int argc, char **argv) {
               "sound pipeline faster overall, 73.91 vs 81.91 minutes):\n");
   std::printf("  sound more accurate on %zu, unsound on %zu, ties %zu\n",
               SoundWins, UnsoundWins, Ties);
-  std::printf("  total time: sound %.1fs, unsound %.1fs\n", SoundTotal,
-              UnsoundTotal);
+  std::printf("  total time: sound %.1fs, unsound %.1fs (candidate "
+              "selection %.2fs, %llu cost-fixpoint row visits)\n",
+              SoundTotal, UnsoundTotal, ExtractTotal,
+              static_cast<unsigned long long>(ExtractRows));
+
+  // Machine-readable trajectory record (one JSON object per line).
+  std::printf("{\"bench\": \"herbie\", \"benchmarks\": %zu, \"improved\": "
+              "%zu, \"sound_s\": %.3f, \"unsound_s\": %.3f, \"extract_s\": "
+              "%.4f, \"extract_rows\": %llu}\n",
+              Completed, Improved, SoundTotal, UnsoundTotal, ExtractTotal,
+              static_cast<unsigned long long>(ExtractRows));
   return 0;
 }

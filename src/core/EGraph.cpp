@@ -6,6 +6,8 @@
 
 #include "core/EGraph.h"
 
+#include "core/Extract.h"
+
 #include <algorithm>
 #include <bit>
 #include <cassert>
@@ -30,6 +32,19 @@ struct ScratchFrame {
 
 EGraph::EGraph() { registerBuiltinPrimitives(Prims); }
 
+// Out of line: ExtractIndex is incomplete in the header.
+EGraph::~EGraph() = default;
+
+ExtractIndex &EGraph::extractIndex() {
+  if (!ExtractIdx) {
+    // The index folds merges from the union-find's log; recording starts
+    // here (earlier merges are covered by the initial scratch rebuild).
+    UF.enableMergeLog();
+    ExtractIdx = std::make_unique<ExtractIndex>();
+  }
+  return *ExtractIdx;
+}
+
 //===----------------------------------------------------------------------===
 // Sorts and functions
 //===----------------------------------------------------------------------===
@@ -47,6 +62,10 @@ SortId EGraph::declareSetSort(const std::string &Name, SortId Element) {
 FunctionId EGraph::declareFunction(FunctionDecl Decl) {
   assert(FunctionNames.find(Decl.Name) == FunctionNames.end() &&
          "function redeclared");
+  // Negative costs would make the extraction fixpoint non-monotone (and
+  // defeat saturatingAdd's overflow guard); the frontend rejects them with
+  // a diagnostic, this is the API-level backstop.
+  assert(Decl.Cost >= 0 && "negative extraction cost");
   FunctionId Id = static_cast<FunctionId>(Functions.size());
   auto Info = std::make_unique<FunctionInfo>();
   Info->Storage = std::make_unique<Table>(Decl.ArgSorts.size());
@@ -247,6 +266,13 @@ bool EGraph::setValue(FunctionId Func, const Value *Args, Value Out) {
                   /*CreateTerms=*/true))
       return false;
     Merged = canonicalize(Merged);
+    // A merge expression over an id-sort output can reassign the key to a
+    // different class without a union: the old association vanishes and a
+    // class cost may rise, which the decrease-only extraction refresh
+    // cannot track. (The default id merge below unions instead, which the
+    // merge log covers.)
+    if (ExtractIdx && Merged != Old && SortsTable.isIdSort(Info.Decl.OutSort))
+      ExtractIdx->invalidate();
   } else if (SortsTable.isIdSort(Info.Decl.OutSort)) {
     Merged = unionValues(Old, Out);
   } else if (SortsTable.kind(Info.Decl.OutSort) == SortKind::Unit) {
@@ -523,8 +549,14 @@ bool EGraph::runActions(const std::vector<Action> &Actions,
       }
       canonicalizeRow(Args.data(), Act.Args.size());
       Value Dummy;
-      Functions[Act.Func]->Storage->erase(Act.Args.empty() ? &Dummy
-                                                           : Args.data());
+      bool Erased = Functions[Act.Func]->Storage->erase(
+          Act.Args.empty() ? &Dummy : Args.data());
+      // Deleting a term entry can raise its class's extraction cost; the
+      // decrease-only incremental refresh cannot model that. A no-op
+      // delete (key already absent) changes nothing and stays warm.
+      if (Erased && ExtractIdx &&
+          SortsTable.isIdSort(Functions[Act.Func]->Decl.OutSort))
+        ExtractIdx->invalidate();
       break;
     }
     }
@@ -633,6 +665,10 @@ void EGraph::restore(const Snapshot &S) {
   UF.restore(S.UF);
   Timestamp = S.Timestamp;
   UnionsDirty = S.UnionsDirty;
+  // Restore resurrects killed rows and truncates appended ones, breaking
+  // the append-only/decrease-only assumptions of the extraction cache.
+  if (ExtractIdx)
+    ExtractIdx->invalidate();
   clearError();
 }
 

@@ -31,6 +31,8 @@
 
 namespace egglog {
 
+class ExtractIndex;
+
 /// Declaration payload for a new egglog function.
 struct FunctionDecl {
   std::string Name;
@@ -83,10 +85,12 @@ struct RationalStdHash {
 class EGraph {
 public:
   EGraph();
+  ~EGraph();
 
   SortTable &sorts() { return SortsTable; }
   const SortTable &sorts() const { return SortsTable; }
   UnionFind &unionFind() { return UF; }
+  const UnionFind &unionFind() const { return UF; }
   PrimitiveRegistry &primitives() { return Prims; }
   const PrimitiveRegistry &primitives() const { return Prims; }
   StringInterner &strings() { return Strings; }
@@ -233,6 +237,19 @@ public:
   /// Sums the index-cache counters of every table.
   IndexCache::Stats indexStats() const;
 
+  //===--------------------------------------------------------------------===
+  // Extraction index
+  //===--------------------------------------------------------------------===
+
+  /// The persistent extraction index (created lazily on first use). Costs
+  /// and best rows are cached across extract calls and refreshed
+  /// incrementally; see Extract.h.
+  ExtractIndex &extractIndex();
+
+  /// The extraction index if one was ever created, else null (stats
+  /// probing without forcing an allocation).
+  const ExtractIndex *extractIndexIfBuilt() const { return ExtractIdx.get(); }
+
   /// Drops every cached column index (bulk invalidation). rebuild() calls
   /// the lighter IndexCache::sweepStale() instead, preserving the All
   /// indexes for incremental refresh.
@@ -299,6 +316,11 @@ private:
   bool ForceFullRebuild = false;
   bool Failed = false;
   std::string ErrorMsg;
+  /// Persistent extraction state (lazily created; incomplete type here, so
+  /// the destructor is out of line). Invalidated by restore() and by the
+  /// mutations that can raise class costs (term deletion, merge-expression
+  /// output replacement).
+  std::unique_ptr<ExtractIndex> ExtractIdx;
 
   /// Reusable scratch stacks for the evaluation hot path (every action and
   /// merge expression, including the rebuild loop): evaluated argument

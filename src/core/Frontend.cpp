@@ -157,6 +157,10 @@ bool Frontend::execDatatype(const SExpr &Form) {
     if (Ctor.size() >= 3 && isKeyword(Ctor[Ctor.size() - 2]) &&
         Ctor[Ctor.size() - 2].Text == ":cost" &&
         Ctor[Ctor.size() - 1].isInteger()) {
+      // Negative costs would break the monotone extraction fixpoint (and
+      // saturatingAdd's overflow guard); reject them at declaration.
+      if (Ctor[Ctor.size() - 1].IntValue < 0)
+        return fail(Ctor[Ctor.size() - 1], ":cost must be non-negative");
       Decl.Cost = Ctor[Ctor.size() - 1].IntValue;
       ArgEnd -= 2;
     }
@@ -197,6 +201,8 @@ bool Frontend::execFunction(const SExpr &Form) {
   if (auto It = Keywords.find(":cost"); It != Keywords.end()) {
     if (!It->second->isInteger())
       return fail(*It->second, ":cost expects an integer");
+    if (It->second->IntValue < 0)
+      return fail(*It->second, ":cost must be non-negative");
     Decl.Cost = It->second->IntValue;
   }
   if (auto It = Keywords.find(":merge"); It != Keywords.end()) {
@@ -364,6 +370,8 @@ bool Frontend::execDefine(const SExpr &Form) {
   if (auto It = Keywords.find(":cost"); It != Keywords.end()) {
     if (!It->second->isInteger())
       return fail(*It->second, ":cost expects an integer");
+    if (It->second->IntValue < 0)
+      return fail(*It->second, ":cost must be non-negative");
     Decl.Cost = It->second->IntValue;
   }
   FunctionId Func = Graph.declareFunction(std::move(Decl));
@@ -615,8 +623,8 @@ bool Frontend::execCheck(const SExpr &Form, bool ExpectFailure) {
 }
 
 bool Frontend::execExtract(const SExpr &Form) {
-  if (Form.size() != 2)
-    return fail(Form, "usage: (extract expr)");
+  if (Form.size() != 2 && Form.size() != 3)
+    return fail(Form, "usage: (extract expr [n])");
   if (!ensureRebuilt())
     return false;
   RuleCtx Ctx;
@@ -627,6 +635,19 @@ bool Frontend::execExtract(const SExpr &Form) {
   std::vector<Value> Env;
   if (!Graph.evalExpr(Expr, Env, Result, /*CreateTerms=*/false))
     return fail(Form, "extract: expression is not in the database");
+  // (extract expr n): up to n distinct equivalent terms, cheapest first,
+  // one output line each.
+  if (Form.size() == 3) {
+    if (!Form[2].isInteger() || Form[2].IntValue < 1)
+      return fail(Form[2], "(extract expr n) expects a positive count");
+    std::vector<ExtractedTerm> Variants = extractVariants(
+        Graph, Result, static_cast<size_t>(Form[2].IntValue));
+    if (Variants.empty())
+      return fail(Form, "extract: no term represents this value");
+    for (const ExtractedTerm &Variant : Variants)
+      Outputs.push_back(Variant.Text);
+    return true;
+  }
   std::optional<ExtractedTerm> Term = extractTerm(Graph, Result);
   if (!Term)
     return fail(Form, "extract: no term represents this value");

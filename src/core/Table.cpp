@@ -259,6 +259,7 @@ void Table::restore(const Snapshot &S) {
   Kills = S.Kills;
   StampsSorted = S.StampsSorted;
   ++Version;
+  ++Resets;
 
   // Rebuild the open-addressing key index from the restored live rows.
   size_t MinSlots = 16;
@@ -295,6 +296,7 @@ void Table::clear() {
   NumLive = 0;
   StampsSorted = true;
   ++Version;
+  ++Resets;
   Slots.assign(16, 0);
   SlotMask = Slots.size() - 1;
   OccHead.clear();

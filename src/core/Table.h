@@ -77,6 +77,12 @@ public:
   /// index refresh skip the dead-row sweep when nothing died.
   uint64_t killCount() const { return Kills; }
 
+  /// Number of restore()/clear() calls ever. Those are the mutations that
+  /// break the append-only contract (truncation, resurrection), so
+  /// consumers that scan the appended suffix (the extraction index)
+  /// restart from scratch when this moves.
+  uint64_t resets() const { return Resets; }
+
   /// Live rows with stamp >= \p Bound (the semi-naïve "new" partition).
   size_t liveCountAtLeast(uint32_t Bound) const;
 
@@ -212,6 +218,7 @@ private:
   size_t NumLive = 0;
   uint64_t Version = 0;
   uint64_t Kills = 0;
+  uint64_t Resets = 0;
   /// True while Stamps is non-decreasing in append order (always the case
   /// under the engine's monotonic timestamp); enables a binary search in
   /// liveCountAtLeast.

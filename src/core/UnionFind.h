@@ -68,6 +68,13 @@ public:
     // most once (a non-root is never passed to the link above), so the list
     // never holds duplicates.
     Dirty.push_back(RootB);
+    // The merge log is the same sequence but never drained: incremental
+    // consumers (the extraction index) remember an offset into it and fold
+    // the suffix on their next refresh, long after rebuild() has consumed
+    // the dirty list. Opt-in (8 bytes per union, forever), so union-heavy
+    // workloads that never extract pay nothing.
+    if (LogMerges)
+      MergeLog.push_back(RootB);
     return RootA;
   }
 
@@ -89,6 +96,15 @@ public:
   /// which restores canonicity without consulting it).
   void clearDirty() { Dirty.clear(); }
 
+  /// Append-only log of every losing root in merge order (never drained;
+  /// truncated only by restore). Incremental readers keep an offset.
+  const std::vector<uint64_t> &mergeLog() const { return MergeLog; }
+
+  /// Starts recording merges (idempotent). Called when the first consumer
+  /// appears; consumers must treat only post-enable entries as complete,
+  /// which the extraction index does by starting from a scratch rebuild.
+  void enableMergeLog() { LogMerges = true; }
+
   /// A frozen copy of the equivalence relation, for push/pop contexts.
   /// Path compression makes an undo log unsound to replay (compressed
   /// parent edges can reference unions that are later undone), so the
@@ -100,9 +116,14 @@ public:
     std::vector<uint64_t> Parents;
     std::vector<uint64_t> Dirty;
     uint64_t UnionCount = 0;
+    /// The merge log is append-only, so the snapshot stores only its
+    /// length; restore truncates back to it.
+    size_t MergeLogSize = 0;
   };
 
-  Snapshot snapshot() const { return Snapshot{Parents, Dirty, UnionCount}; }
+  Snapshot snapshot() const {
+    return Snapshot{Parents, Dirty, UnionCount, MergeLog.size()};
+  }
 
   /// Restores the relation captured by \p S exactly: ids created since are
   /// forgotten and every union since is undone.
@@ -110,12 +131,16 @@ public:
     Parents = S.Parents;
     Dirty = S.Dirty;
     UnionCount = S.UnionCount;
+    MergeLog.resize(S.MergeLogSize);
   }
 
 private:
   mutable std::vector<uint64_t> Parents;
   /// Roots that lost a unite() since the last takeDirty(), in merge order.
   std::vector<uint64_t> Dirty;
+  /// Every losing root since enableMergeLog(), in merge order.
+  std::vector<uint64_t> MergeLog;
+  bool LogMerges = false;
   uint64_t UnionCount = 0;
 };
 

@@ -6,6 +6,7 @@
 
 #include "herbie/FPExpr.h"
 
+#include "support/NumberFormat.h"
 #include "support/Rational.h"
 #include "support/SExpr.h"
 
@@ -269,10 +270,8 @@ ExprPtr egglog::herbie::parseFPExpr(const std::string &Source) {
 
 std::string egglog::herbie::toSurface(const FPExpr &E) {
   switch (E.Op) {
-  case OpKind::Num: {
-    std::string Text = std::to_string(E.Constant);
-    return Text;
-  }
+  case OpKind::Num:
+    return formatF64(E.Constant);
   case OpKind::Var:
     return E.Name;
   default: {

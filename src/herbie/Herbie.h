@@ -20,6 +20,7 @@
 
 #include "herbie/ErrorModel.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,12 @@ struct HerbieResult {
   size_t CandidatesTried = 0;
   size_t ENodes = 0;
   unsigned IterationsRun = 0;
+  /// Seconds spent selecting candidates (one cost-fixpoint refresh of the
+  /// graph's persistent ExtractIndex plus MaxCandidates renderings).
+  double ExtractSeconds = 0;
+  /// Cost-fixpoint row relaxations performed while extracting (from the
+  /// shared ExtractIndex stats; one refresh covers every candidate).
+  uint64_t ExtractRowsConsidered = 0;
 };
 
 /// Runs the full pipeline on one benchmark.

@@ -6,6 +6,8 @@
 
 #include "support/SExpr.h"
 
+#include "support/NumberFormat.h"
+
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
@@ -51,7 +53,7 @@ std::string SExpr::toString() const {
   case Kind::Integer:
     return std::to_string(IntValue);
   case Kind::Float:
-    return std::to_string(FloatValue);
+    return formatF64(FloatValue);
   case Kind::String: {
     std::string Result = "\"";
     for (char C : Text) {
@@ -215,22 +217,47 @@ private:
     while (Position < Source.size() && !isDelimiter(Source[Position]))
       ++Position;
     std::string_view Token = Source.substr(Start, Position - Start);
-    // Integer literal: optional sign followed by digits only.
+    // Numeric literal: optional sign, digits, optional fraction, optional
+    // exponent (so shortest round-trip float output like 1e+20 reads back
+    // in). Anything else is a symbol.
     size_t DigitsStart = (Token[0] == '-' || Token[0] == '+') ? 1 : 0;
-    bool AllDigits = Token.size() > DigitsStart;
+    size_t Cursor = DigitsStart;
+    size_t MantissaDigits = 0;
+    while (Cursor < Token.size() &&
+           std::isdigit(static_cast<unsigned char>(Token[Cursor]))) {
+      ++Cursor;
+      ++MantissaDigits;
+    }
     bool HasDot = false;
-    for (size_t I = DigitsStart; I < Token.size(); ++I) {
-      char C = Token[I];
-      if (C == '.' && !HasDot) {
-        HasDot = true;
-        continue;
-      }
-      if (!std::isdigit(static_cast<unsigned char>(C))) {
-        AllDigits = false;
-        break;
+    if (Cursor < Token.size() && Token[Cursor] == '.') {
+      HasDot = true;
+      ++Cursor;
+      while (Cursor < Token.size() &&
+             std::isdigit(static_cast<unsigned char>(Token[Cursor]))) {
+        ++Cursor;
+        ++MantissaDigits;
       }
     }
-    if (AllDigits && !HasDot) {
+    bool HasExponent = false;
+    if (MantissaDigits > 0 && Cursor < Token.size() &&
+        (Token[Cursor] == 'e' || Token[Cursor] == 'E')) {
+      size_t ExpCursor = Cursor + 1;
+      if (ExpCursor < Token.size() &&
+          (Token[ExpCursor] == '+' || Token[ExpCursor] == '-'))
+        ++ExpCursor;
+      size_t ExponentDigits = 0;
+      while (ExpCursor < Token.size() &&
+             std::isdigit(static_cast<unsigned char>(Token[ExpCursor]))) {
+        ++ExpCursor;
+        ++ExponentDigits;
+      }
+      if (ExponentDigits > 0 && ExpCursor == Token.size()) {
+        HasExponent = true;
+        Cursor = ExpCursor;
+      }
+    }
+    bool AllDigits = MantissaDigits > 0 && Cursor == Token.size();
+    if (AllDigits && !HasDot && !HasExponent) {
       errno = 0;
       char *End = nullptr;
       std::string Buffer(Token);
@@ -241,7 +268,7 @@ private:
       }
       return SExpr::makeInteger(Value, StartLine);
     }
-    if (AllDigits && HasDot) {
+    if (AllDigits) {
       std::string Buffer(Token);
       SExpr Node;
       Node.NodeKind = SExpr::Kind::Float;

@@ -11,9 +11,11 @@
 //        egglog-run --backoff ...          enable the BackOff scheduler
 //        egglog-run --threads N ...        match rules on N threads
 //        egglog-run --stats ...            dump per-phase timing at exit
+//        egglog-run --extract ...          dump extraction-cache stats at exit
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Extract.h"
 #include "core/Frontend.h"
 
 #include <cstdio>
@@ -56,12 +58,31 @@ void dumpStats(Frontend &F) {
                T.RebuildSeconds);
 }
 
+/// --extract: the extraction cache's maintenance counters as a single-line
+/// JSON record on stderr (same channel as --stats), so driver scripts can
+/// track warm-hit rates across program runs.
+void dumpExtractStats(Frontend &F) {
+  const ExtractIndex *Idx = F.graph().extractIndexIfBuilt();
+  ExtractIndex::Stats St = Idx ? Idx->stats() : ExtractIndex::Stats{};
+  std::fprintf(stderr,
+               "{\"bench\": \"extract\", \"refreshes\": %llu, \"warm_hits\": "
+               "%llu, \"incrementals\": %llu, \"full_rebuilds\": %llu, "
+               "\"rows_considered\": %llu, \"merges_folded\": %llu}\n",
+               static_cast<unsigned long long>(St.Refreshes),
+               static_cast<unsigned long long>(St.WarmHits),
+               static_cast<unsigned long long>(St.Incrementals),
+               static_cast<unsigned long long>(St.FullRebuilds),
+               static_cast<unsigned long long>(St.RowsConsidered),
+               static_cast<unsigned long long>(St.MergesFolded));
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   Frontend F;
   std::vector<std::string> Files;
   bool Stats = false;
+  bool ExtractStats = false;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--no-seminaive") == 0)
       F.runOptions().SemiNaive = false;
@@ -69,6 +90,8 @@ int main(int argc, char **argv) {
       F.runOptions().UseBackoff = true;
     else if (std::strcmp(argv[I], "--stats") == 0)
       Stats = true;
+    else if (std::strcmp(argv[I], "--extract") == 0)
+      ExtractStats = true;
     else if (std::strcmp(argv[I], "--threads") == 0) {
       int N = I + 1 < argc ? std::atoi(argv[++I]) : 0;
       if (N < 1) {
@@ -78,7 +101,7 @@ int main(int argc, char **argv) {
       F.engine().setThreads(static_cast<unsigned>(N));
     } else if (std::strcmp(argv[I], "--help") == 0) {
       std::printf("usage: egglog-run [--no-seminaive] [--backoff] "
-                  "[--threads N] [--stats] [file.egg ...]\n");
+                  "[--threads N] [--stats] [--extract] [file.egg ...]\n");
       return 0;
     } else {
       Files.push_back(argv[I]);
@@ -105,5 +128,7 @@ int main(int argc, char **argv) {
   }
   if (Stats)
     dumpStats(F);
+  if (ExtractStats)
+    dumpExtractStats(F);
   return Status;
 }
