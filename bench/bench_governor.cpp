@@ -1,0 +1,191 @@
+//===- bench/bench_governor.cpp - Resource-governor overhead ------------------===//
+//
+// Part of egglog-cpp. Measures the two claims behind the resource
+// governor:
+//
+//   1. Steady-state checkpoint overhead: a transitive-closure workload
+//      (heavy in the apply/rebuild loops that host the amortized
+//      checkpoints) run with no limits versus with generous
+//      (never-tripping) limits, so every checkpoint performs its full
+//      poll. The delta must stay under ~2%. The math suite is recorded
+//      too, but it saturates in milliseconds — closure is the stable
+//      number.
+//   2. Stop latency: a points-to-style transitive-closure workload under a
+//      50ms wall-clock budget. The governor's row-granular checkpoints
+//      must stop it with bounded overshoot, not at iteration granularity.
+//
+// The JSON record carries failpoints_compiled so the zero-cost-when-off
+// claim of the fault-injection harness is checkable from the artifact
+// (bench builds compile them out; test builds compile them in).
+//
+// Usage: bench_governor [closure_nodes] [timeout_ms]
+//
+//===----------------------------------------------------------------------===//
+
+#include "MathSuite.h"
+
+#include "core/Frontend.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace egglog;
+
+namespace {
+
+/// Arms every limit class high enough to never trip, so checkpoints do
+/// maximal work (a full poll, never a short-circuit on anyLimitSet()).
+void governGenerously(Frontend &F) {
+  F.graph().governor().setTimeout(3600);
+  F.graph().governor().setMaxLive(size_t(1) << 40);
+  F.graph().governor().setMaxBytes(size_t(1) << 44);
+}
+
+/// Math-suite saturation time (milliseconds-scale; recorded for the
+/// trajectory, too noisy to carry the overhead claim on its own).
+double runMath(bool Governed, unsigned Iterations) {
+  Frontend F;
+  if (Governed)
+    governGenerously(F);
+  F.runOptions().UseBackoff = true;
+  if (!F.execute(bench::mathRulesEgglog()) ||
+      !F.execute(bench::mathSeedsEgglog())) {
+    std::fprintf(stderr, "math setup failed: %s\n", F.error().c_str());
+    std::exit(1);
+  }
+  Timer T;
+  if (!F.execute("(run " + std::to_string(Iterations) + ")")) {
+    std::fprintf(stderr, "math run failed: %s\n", F.error().c_str());
+    std::exit(1);
+  }
+  return T.seconds();
+}
+
+/// Points-to-style workload: transitive closure over a dense edge set,
+/// heavy in the apply and rebuild phases where the serial checkpoints sit.
+void setupClosure(Frontend &F, int Nodes) {
+  std::string Program = R"(
+    (relation edge (i64 i64))
+    (relation path (i64 i64))
+    (rule ((edge x y)) ((path x y)))
+    (rule ((path x y) (edge y z)) ((path x z)))
+  )";
+  if (!F.execute(Program)) {
+    std::fprintf(stderr, "closure setup failed: %s\n", F.error().c_str());
+    std::exit(1);
+  }
+  std::string Seeds;
+  for (int I = 0; I + 1 < Nodes; ++I)
+    Seeds += "(edge " + std::to_string(I) + " " + std::to_string(I + 1) +
+             ")\n";
+  // A few long chords so the closure frontier stays wide.
+  for (int I = 0; I < Nodes; I += 7)
+    Seeds += "(edge " + std::to_string(I) + " " +
+             std::to_string((I * 3 + 1) % Nodes) + ")\n";
+  if (!F.execute(Seeds)) {
+    std::fprintf(stderr, "closure seeds failed: %s\n", F.error().c_str());
+    std::exit(1);
+  }
+}
+
+/// Transitive closure run to its fixpoint — hundreds of milliseconds of
+/// apply/rebuild rows, each behind a governor checkpoint.
+double runClosure(bool Governed, int Nodes) {
+  Frontend F;
+  if (Governed)
+    governGenerously(F);
+  setupClosure(F, Nodes);
+  Timer T;
+  if (!F.execute("(run 10000)")) {
+    std::fprintf(stderr, "closure run failed: %s\n", F.error().c_str());
+    std::exit(1);
+  }
+  return T.seconds();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int ClosureNodes = argc > 1 ? std::atoi(argv[1]) : 700;
+  double TimeoutMs = argc > 2 ? std::atof(argv[2]) : 50.0;
+
+  // Steady-state overhead: an untimed warm-up (the first run in the
+  // process pays allocator and page-fault costs), then best-of-9 each
+  // with the order alternated per rep so neither side inherits a warmer
+  // heap systematically. Minima, not means: scheduler noise on shared
+  // runners only ever adds time.
+  runClosure(/*Governed=*/false, ClosureNodes);
+  double Base = 1e100, Governed = 1e100;
+  double MathBase = 1e100, MathGoverned = 1e100;
+  std::vector<double> Ratios;
+  for (int Rep = 0; Rep < 9; ++Rep) {
+    double B, G;
+    if (Rep % 2 == 0) {
+      B = runClosure(/*Governed=*/false, ClosureNodes);
+      G = runClosure(/*Governed=*/true, ClosureNodes);
+    } else {
+      G = runClosure(/*Governed=*/true, ClosureNodes);
+      B = runClosure(/*Governed=*/false, ClosureNodes);
+    }
+    Base = std::min(Base, B);
+    Governed = std::min(Governed, G);
+    // Per-rep ratio: the two runs are adjacent in time, so slow drift
+    // (frequency scaling, co-tenants) cancels inside each pair.
+    if (B > 0)
+      Ratios.push_back(G / B);
+    MathBase = std::min(MathBase, runMath(/*Governed=*/false, 11));
+    MathGoverned = std::min(MathGoverned, runMath(/*Governed=*/true, 11));
+  }
+  std::sort(Ratios.begin(), Ratios.end());
+  double OverheadPct =
+      Ratios.empty() ? 0 : (Ratios[Ratios.size() / 2] - 1.0) * 100.0;
+
+  // Stop latency: a 50ms budget against a closure that runs far longer.
+  Frontend F;
+  setupClosure(F, 2500);
+  F.graph().governor().setTimeout(TimeoutMs / 1000.0);
+  Timer T;
+  bool Stopped = !F.execute("(run 1000)");
+  double ElapsedMs = T.seconds() * 1000.0;
+  if (!Stopped)
+    std::fprintf(stderr,
+                 "warning: closure finished before the %.0fms budget; "
+                 "overshoot is not meaningful\n",
+                 TimeoutMs);
+
+  int FailpointsCompiled =
+#if EGGLOG_FAILPOINTS_ENABLED
+      1;
+#else
+      0;
+#endif
+
+  std::printf("=== Resource governor (closure n=%d, timeout %.0fms) ===\n",
+              ClosureNodes, TimeoutMs);
+  std::printf("closure fixpoint:  base %.3fs, governed %.3fs "
+              "(median pair ratio %+.2f%%)\n",
+              Base, Governed, OverheadPct);
+  std::printf("math saturation:   base %.3fs, governed %.3fs\n", MathBase,
+              MathGoverned);
+  std::printf("timeout stop:      %.1fms elapsed for a %.0fms budget "
+              "(overshoot %+.1fms)\n",
+              ElapsedMs, TimeoutMs, ElapsedMs - TimeoutMs);
+  std::printf("failpoints:        %s\n",
+              FailpointsCompiled ? "compiled in" : "compiled out");
+
+  std::printf("{\"bench\": \"governor\", \"failpoints_compiled\": %d, "
+              "\"closure_base_s\": %.6f, \"closure_gov_s\": %.6f, "
+              "\"overhead_pct\": %.3f, "
+              "\"math_base_s\": %.6f, \"math_gov_s\": %.6f, "
+              "\"timeout_target_ms\": %.1f, "
+              "\"timeout_elapsed_ms\": %.1f, \"timeout_overshoot_ms\": "
+              "%.1f, \"timeout_stopped\": %s}\n",
+              FailpointsCompiled, Base, Governed, OverheadPct, MathBase,
+              MathGoverned, TimeoutMs, ElapsedMs, ElapsedMs - TimeoutMs,
+              Stopped ? "true" : "false");
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include "core/EGraph.h"
 
 #include "core/Extract.h"
+#include "support/FailPoints.h"
 
 #include <algorithm>
 #include <bit>
@@ -60,6 +61,7 @@ SortId EGraph::declareSetSort(const std::string &Name, SortId Element) {
 }
 
 FunctionId EGraph::declareFunction(FunctionDecl Decl) {
+  EGGLOG_FAILPOINT("egraph.declare");
   assert(FunctionNames.find(Decl.Name) == FunctionNames.end() &&
          "function redeclared");
   // Negative costs would make the extraction fixpoint non-monotone (and
@@ -368,6 +370,8 @@ unsigned EGraph::rebuildIncremental() {
         for (size_t Row = 0; Row < Limit; ++Row) {
           if (!T.isLive(Row))
             continue;
+          if (!governorCheckpoint("rebuild.row"))
+            return Passes;
           bool RowRewritten = false;
           if (!rewriteRow(Func, Row, Buffer, RowRewritten))
             return Passes;
@@ -383,6 +387,8 @@ unsigned EGraph::rebuildIncremental() {
             // it, or a reinsertion collided with its key.
             if (!T.isLive(Row))
               continue;
+            if (!governorCheckpoint("rebuild.row"))
+              return Passes;
             bool RowRewritten = false;
             if (!rewriteRow(Func, Row, Buffer, RowRewritten))
               return Passes;
@@ -412,6 +418,8 @@ unsigned EGraph::rebuildFullSweep() {
       for (size_t Row = 0; Row < Limit; ++Row) {
         if (!T.isLive(Row))
           continue;
+        if (!governorCheckpoint("rebuild.row"))
+          return Passes;
         bool RowRewritten = false;
         if (!rewriteRow(static_cast<FunctionId>(F), Row, Buffer,
                         RowRewritten))
@@ -670,6 +678,115 @@ void EGraph::restore(const Snapshot &S) {
   if (ExtractIdx)
     ExtractIdx->invalidate();
   clearError();
+}
+
+//===----------------------------------------------------------------------===
+// Command transactions
+//===----------------------------------------------------------------------===
+
+EGraph::TxnMark EGraph::txnBegin() {
+  assert(!InTxn && "nested command transactions are not supported");
+  InTxn = true;
+  TxnMark M;
+  M.UF = UF.txnBegin();
+  M.Tables.reserve(Functions.size());
+  for (const auto &Info : Functions)
+    M.Tables.push_back(Info->Storage->txnMark());
+  M.NumSorts = SortsTable.size();
+  M.NumFunctions = Functions.size();
+  M.NumPrims = Prims.size();
+  M.Timestamp = Timestamp;
+  M.UnionsDirty = UnionsDirty;
+  return M;
+}
+
+void EGraph::txnCommit() {
+  assert(InTxn && "txnCommit without an open transaction");
+  InTxn = false;
+  UF.txnCommit();
+}
+
+void EGraph::txnRollback(const TxnMark &M) {
+  assert(InTxn && "txnRollback without an open transaction");
+  InTxn = false;
+  // Drop declarations made by the failed command (newest first), exactly as
+  // restore() does for popped contexts.
+  for (size_t F = Functions.size(); F > M.NumFunctions; --F) {
+    FunctionNames.erase(Functions[F - 1]->Decl.Name);
+    Functions.pop_back();
+  }
+  SortsTable.truncate(M.NumSorts);
+  Prims.truncate(M.NumPrims);
+  for (size_t F = 0; F < M.NumFunctions; ++F)
+    Functions[F]->Storage->rollbackTo(M.Tables[F]);
+  UF.txnRollback(M.UF);
+  Timestamp = M.Timestamp;
+  UnionsDirty = M.UnionsDirty;
+  // An injected fault or bad_alloc can unwind past live scratch frames;
+  // the frames' destructors resize the stacks on the way out, but clear
+  // them anyway so a missed frame cannot leak into the next command.
+  EvalScratch.clear();
+  KeyScratch.clear();
+  MergeEnv.clear();
+  // Rollback resurrects killed rows and truncates appended ones; the
+  // extraction cache's decrease-only refresh cannot model either.
+  if (ExtractIdx)
+    ExtractIdx->invalidate();
+  clearError();
+}
+
+//===----------------------------------------------------------------------===
+// Resource governance
+//===----------------------------------------------------------------------===
+
+size_t EGraph::approxBytes() const {
+  size_t Total = UF.approxBytes();
+  for (const auto &Info : Functions)
+    Total += Info->Storage->approxBytes();
+  return Total;
+}
+
+bool EGraph::governorTripped() {
+  if (Failed)
+    return true;
+  if (!Gov.anyLimitSet())
+    return false;
+  switch (Gov.poll(liveTupleCount(), approxBytes())) {
+  case GovernorVerdict::Ok:
+    return false;
+  case GovernorVerdict::Timeout:
+    reportError(ErrKind::Limit,
+                "resource limit: wall-clock timeout of " +
+                    std::to_string(Gov.timeout()) + "s exceeded");
+    return true;
+  case GovernorVerdict::NodeLimit:
+    reportError(ErrKind::Limit,
+                "resource limit: live tuple ceiling of " +
+                    std::to_string(Gov.maxLive()) + " exceeded");
+    return true;
+  case GovernorVerdict::MemoryLimit:
+    reportError(ErrKind::Limit,
+                "resource limit: memory ceiling of " +
+                    std::to_string(Gov.maxBytes() >> 20) + " MB exceeded");
+    return true;
+  case GovernorVerdict::Cancelled:
+    reportError(ErrKind::Cancelled, "cancelled by request");
+    return true;
+  }
+  return false;
+}
+
+bool EGraph::governorCheckpoint(const char *Site) {
+  (void)Site; // only the failpoint macro consumes it in test builds
+  if (Failed)
+    return false;
+  if (CheckpointBudget > 0) {
+    --CheckpointBudget;
+    return true;
+  }
+  CheckpointBudget = Gov.checkpointInterval() - 1;
+  EGGLOG_FAILPOINT(Site);
+  return !governorTripped();
 }
 
 //===----------------------------------------------------------------------===

@@ -21,6 +21,8 @@
 #include "core/Sorts.h"
 #include "core/Table.h"
 #include "core/UnionFind.h"
+#include "support/Errors.h"
+#include "support/Governor.h"
 #include "support/Interner.h"
 #include "support/Rational.h"
 
@@ -286,19 +288,80 @@ public:
   void restore(const Snapshot &S);
 
   //===--------------------------------------------------------------------===
+  // Command transactions
+  //===--------------------------------------------------------------------===
+
+  /// A lightweight mark for per-command rollback. Where Snapshot copies the
+  /// union-find parent array and a liveness bitmap per table (the right
+  /// trade for long-lived (push) contexts), a TxnMark is O(#declarations):
+  /// per-table row counts plus a union-find write journal opened for the
+  /// duration. txnCommit is O(1); txnRollback pays only for what the failed
+  /// command actually did.
+  struct TxnMark {
+    UnionFind::TxnMark UF;
+    std::vector<Table::TxnMark> Tables;
+    size_t NumSorts = 0;
+    size_t NumFunctions = 0;
+    size_t NumPrims = 0;
+    uint32_t Timestamp = 0;
+    bool UnionsDirty = false;
+  };
+
+  /// Opens a command transaction (no nesting). Until txnCommit or
+  /// txnRollback, union-find parent writes are journaled.
+  TxnMark txnBegin();
+  /// Closes the transaction, keeping all mutations.
+  void txnCommit();
+  /// Undoes every mutation since \p M: appended rows, kills, unions,
+  /// declarations, timestamp bumps. Also clears any pending error.
+  void txnRollback(const TxnMark &M);
+
+  //===--------------------------------------------------------------------===
+  // Resource governance
+  //===--------------------------------------------------------------------===
+
+  ResourceGovernor &governor() { return Gov; }
+  const ResourceGovernor &governor() const { return Gov; }
+
+  /// Amortized checkpoint for serial inner loops (apply/rebuild/extract):
+  /// decrements a budget and, every governor checkpoint interval, fires the
+  /// named failpoint and runs a full resource poll. Returns false — after
+  /// reporting a Limit/Cancelled error — when the command must stop.
+  bool governorCheckpoint(const char *Site);
+
+  /// Restarts the amortized countdown; called at each command boundary so
+  /// a budget left over from the previous command (or a checkpoint-interval
+  /// change between commands) cannot delay the next command's first poll.
+  void resetCheckpointBudget() { CheckpointBudget = 0; }
+
+  /// Immediate full poll (no amortization); reports the error on a trip.
+  bool governorTripped();
+
+  /// Approximate bytes held by tables + union-find (governor ceiling).
+  size_t approxBytes() const;
+
+  //===--------------------------------------------------------------------===
   // Error reporting
   //===--------------------------------------------------------------------===
 
   bool failed() const { return Failed; }
   const std::string &errorMessage() const { return ErrorMsg; }
+  /// Taxonomy kind of the pending error (Runtime for legacy reportError
+  /// callers; Limit/Cancelled when the governor tripped).
+  ErrKind errorKind() const { return ErrKindValue; }
   void reportError(const std::string &Message) {
+    reportError(ErrKind::Runtime, Message);
+  }
+  void reportError(ErrKind Kind, const std::string &Message) {
     if (Failed)
       return;
     Failed = true;
+    ErrKindValue = Kind;
     ErrorMsg = Message;
   }
   void clearError() {
     Failed = false;
+    ErrKindValue = ErrKind::None;
     ErrorMsg.clear();
   }
 
@@ -315,7 +378,13 @@ private:
   bool UnionsDirty = false;
   bool ForceFullRebuild = false;
   bool Failed = false;
+  ErrKind ErrKindValue = ErrKind::None;
   std::string ErrorMsg;
+  ResourceGovernor Gov;
+  /// Countdown to the next full governor poll (see governorCheckpoint).
+  uint32_t CheckpointBudget = 0;
+  /// True while a command transaction is open (no nesting).
+  bool InTxn = false;
   /// Persistent extraction state (lazily created; incomplete type here, so
   /// the destructor is out of line). Invalidated by restore() and by the
   /// mutations that can raise class costs (term deletion, merge-expression

@@ -7,6 +7,7 @@
 #include "core/Engine.h"
 
 #include "core/Query.h"
+#include "support/FailPoints.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -188,6 +189,10 @@ RunReport Engine::run(const RunOptions &Options) {
   // require canonical form.
   if (Graph.needsRebuild())
     Graph.rebuild();
+  if (Graph.failed()) {
+    Report.TotalSeconds = Total.seconds();
+    return Report;
+  }
 
   // Saturation detection compares the database's live content across an
   // iteration: live counts (not rowCount(), which includes dead rows) and,
@@ -202,10 +207,12 @@ RunReport Engine::run(const RunOptions &Options) {
   if (HasContentHash && mutationStamp() != LastMutationStamp)
     HasContentHash = false;
 
+  const ResourceGovernor &Gov = Graph.governor();
   for (unsigned Iter = 0; Iter < Options.Iterations; ++Iter) {
     ++GlobalIteration;
     IterationStats Stats;
     Timer Phase;
+    EGGLOG_FAILPOINT("engine.iter");
 
     auto TimedOutNow = [&] {
       return Options.TimeoutSeconds > 0 &&
@@ -258,7 +265,9 @@ RunReport Engine::run(const RunOptions &Options) {
 
         uint64_t Threshold = RuleThreshold(R);
         std::function<bool()> Cancel = [&] {
-          return TimedOutNow() || Chunk.Count > Threshold;
+          EGGLOG_FAILPOINT("match.step");
+          return TimedOutNow() || Chunk.Count > Threshold ||
+                 Gov.pollQuick() != GovernorVerdict::Ok;
         };
         bool Incremental = Options.SemiNaive && State.DeltaStart > 0 &&
                            !Body.Atoms.empty();
@@ -350,8 +359,9 @@ RunReport Engine::run(const RunOptions &Options) {
       auto RunItem = [&](WorkItem &Item, bool ReadOnlyPath) {
         uint64_t Threshold = RuleThreshold(Item.Rule);
         std::function<bool()> Cancel = [&Item, &RuleCounts, &TimedOutNow,
-                                        Threshold] {
-          if (TimedOutNow())
+                                        &Gov, Threshold] {
+          EGGLOG_FAILPOINT("match.step");
+          if (TimedOutNow() || Gov.pollQuick() != GovernorVerdict::Ok)
             return true;
           if (Threshold == UINT64_MAX)
             return false;
@@ -432,6 +442,14 @@ RunReport Engine::run(const RunOptions &Options) {
       }
     }
     Stats.SearchSeconds = Phase.seconds();
+    // Governor trips are hard stops (ErrKind::Limit, command rolls back),
+    // unlike the legacy RunOptions timeout below, which is a graceful
+    // partial-result stop at iteration granularity.
+    if (Graph.governorTripped()) {
+      Report.Iterations.push_back(Stats);
+      Report.TotalSeconds = Total.seconds();
+      return Report;
+    }
     if (SearchTimedOut) {
       Report.TimedOut = true;
       Report.Iterations.push_back(Stats);
@@ -448,6 +466,11 @@ RunReport Engine::run(const RunOptions &Options) {
       const Rule &TheRule = Rules[Chunk.Rule];
       size_t Stride = TheRule.Body.NumVars;
       for (size_t M = 0; M < Chunk.Count; ++M) {
+        if (!Graph.governorCheckpoint("apply.match")) {
+          Report.Iterations.push_back(Stats);
+          Report.TotalSeconds = Total.seconds();
+          return Report;
+        }
         const Value *Match = Chunk.Arena.data() + M * Stride;
         Env.assign(Match, Match + Stride);
         Env.resize(TheRule.NumSlots);

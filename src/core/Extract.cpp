@@ -162,7 +162,7 @@ bool ExtractIndex::foldMerges(EGraph &Graph) {
   return true;
 }
 
-void ExtractIndex::scanSuffix(EGraph &Graph, size_t Func) {
+bool ExtractIndex::scanSuffix(EGraph &Graph, size_t Func) {
   const FunctionInfo &Info = Graph.function(Func);
   const Table &T = *Info.Storage;
   TableState &St = Tables[Func];
@@ -173,6 +173,8 @@ void ExtractIndex::scanSuffix(EGraph &Graph, size_t Func) {
   for (size_t Row = St.Scanned; Row < Rows; ++Row) {
     if (!T.isLive(Row))
       continue;
+    if (!Graph.governorCheckpoint("extract.scan"))
+      return false;
     const Value *Cells = T.row(Row);
     for (unsigned I = 0; I < NumKeys; ++I)
       if (Graph.sorts().isIdSort(Cells[I].Sort))
@@ -185,20 +187,26 @@ void ExtractIndex::scanSuffix(EGraph &Graph, size_t Func) {
   St.Scanned = Rows;
   St.Version = T.version();
   St.Resets = T.resets();
+  return true;
 }
 
-void ExtractIndex::drainQueue(EGraph &Graph) {
+bool ExtractIndex::drainQueue(EGraph &Graph) {
   while (!Queue.empty()) {
     uint64_t Class = Queue.back();
     Queue.pop_back();
     QueuePending[Class] = 0;
-    for (int32_t N = UseHead[Class]; N >= 0; N = Pool[N].Next)
+    for (int32_t N = UseHead[Class]; N >= 0; N = Pool[N].Next) {
+      if (!Graph.governorCheckpoint("extract.drain"))
+        return false;
       consider(Graph, Pool[N].Func, Pool[N].Row);
+    }
   }
+  return true;
 }
 
 void ExtractIndex::rebuildFromScratch(EGraph &Graph) {
   ++S.FullRebuilds;
+  Valid = false;
   TermMemo.clear();
   Pool.clear();
   Best.clear();
@@ -213,8 +221,10 @@ void ExtractIndex::rebuildFromScratch(EGraph &Graph) {
   ensureIdCapacity(Graph.unionFind().size());
   for (size_t F = 0; F < Tables.size(); ++F)
     if (participates(Graph, F))
-      scanSuffix(Graph, F);
-  drainQueue(Graph);
+      if (!scanSuffix(Graph, F))
+        return; // governor tripped: leave invalid, next refresh restarts
+  if (!drainQueue(Graph))
+    return;
   Valid = true;
 }
 
@@ -224,6 +234,8 @@ void ExtractIndex::refresh(EGraph &Graph) {
   // ensures every cell the fixpoint reads is canonical.
   if (Graph.needsRebuild())
     Graph.rebuild();
+  if (Graph.failed())
+    return; // entry points bail out on a failed graph
 
   bool Scratch = !Valid || Graph.numFunctions() < Tables.size();
   if (!Scratch) {
@@ -264,8 +276,12 @@ void ExtractIndex::refresh(EGraph &Graph) {
   ++S.Incrementals;
   for (size_t F = 0; F < Tables.size(); ++F)
     if (participates(Graph, F))
-      scanSuffix(Graph, F);
-  drainQueue(Graph);
+      if (!scanSuffix(Graph, F)) {
+        Valid = false;
+        return;
+      }
+  if (!drainQueue(Graph))
+    Valid = false;
 }
 
 int64_t ExtractIndex::costOf(const EGraph &Graph, Value V) const {
@@ -431,6 +447,8 @@ std::optional<ExtractedTerm> egglog::extractTerm(EGraph &Graph, Value V) {
     return ExtractedTerm{formatValue(Graph, V), 1, 1};
   ExtractIndex &Idx = Graph.extractIndex();
   Idx.refresh(Graph);
+  if (Graph.failed())
+    return std::nullopt;
   uint64_t Root = Graph.unionFind().find(V.Bits);
   if (const ExtractedTerm *Memo = Idx.memoized(Root))
     return *Memo;
@@ -458,6 +476,8 @@ std::optional<int64_t> egglog::extractCost(EGraph &Graph, Value V) {
     return 1;
   ExtractIndex &Idx = Graph.extractIndex();
   Idx.refresh(Graph);
+  if (Graph.failed())
+    return std::nullopt;
   const ExtractIndex::Entry *E = Idx.best(Graph, V);
   if (!E)
     return std::nullopt;
@@ -473,6 +493,8 @@ std::vector<ExtractedTerm> egglog::extractVariants(EGraph &Graph, Value V,
   }
   ExtractIndex &Idx = Graph.extractIndex();
   Idx.refresh(Graph);
+  if (Graph.failed())
+    return Variants;
 
   // Every live entry producing this class, via the producer chains (no
   // whole-database sweep), completed with cheapest-cost children.

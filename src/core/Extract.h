@@ -193,8 +193,12 @@ private:
   /// reference its own merged class (the caller must rebuild from
   /// scratch; see the comment in the implementation).
   bool foldMerges(EGraph &Graph);
-  void scanSuffix(EGraph &Graph, size_t Func);
-  void drainQueue(EGraph &Graph);
+  /// Row-proportional phases run under governor checkpoints; each returns
+  /// false when the governor tripped (or a fault was injected) mid-scan, in
+  /// which case the caller must leave the index invalid — the partial scan
+  /// has already pushed chain nodes the bookkeeping does not cover.
+  bool scanSuffix(EGraph &Graph, size_t Func);
+  bool drainQueue(EGraph &Graph);
   void rebuildFromScratch(EGraph &Graph);
 };
 

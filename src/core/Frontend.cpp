@@ -8,8 +8,10 @@
 
 #include "core/Extract.h"
 #include "core/Query.h"
+#include "support/FailPoints.h"
 
 #include <cassert>
+#include <new>
 
 using namespace egglog;
 
@@ -34,11 +36,25 @@ bool scanKeywords(const SExpr &Form, size_t From,
 
 } // namespace
 
-bool Frontend::fail(const SExpr &At, const std::string &Message) {
+bool Frontend::failKind(const SExpr &At, ErrKind Kind,
+                        const std::string &Message) {
   if (!ErrorMsg.empty())
     return false;
   ErrorMsg = "line " + std::to_string(At.Line) + ": " + Message;
+  LastError = EggError{Kind, Message, At.Line, At.Col};
   return false;
+}
+
+bool Frontend::fail(const SExpr &At, const std::string &Message) {
+  // Most bare fail() sites are static errors (malformed forms, unknown
+  // names, sort mismatches); Type renders as a plain "error" and exits 1.
+  return failKind(At, ErrKind::Type, Message);
+}
+
+bool Frontend::failGraph(const SExpr &At) {
+  ErrKind Kind = Graph.errorKind();
+  return failKind(At, Kind == ErrKind::None ? ErrKind::Runtime : Kind,
+                  Graph.errorMessage());
 }
 
 bool Frontend::execute(std::string_view Source) {
@@ -46,6 +62,8 @@ bool Frontend::execute(std::string_view Source) {
   if (!Parsed.Ok) {
     ErrorMsg = "line " + std::to_string(Parsed.ErrorLine) +
                ": parse error: " + Parsed.Error;
+    LastError = EggError{ErrKind::Parse, Parsed.Error, Parsed.ErrorLine,
+                         Parsed.ErrorCol};
     return false;
   }
   for (const SExpr &Form : Parsed.Forms)
@@ -55,8 +73,47 @@ bool Frontend::execute(std::string_view Source) {
 }
 
 bool Frontend::executeForm(const SExpr &Form) {
+  ErrorMsg.clear();
+  LastError = EggError{};
   if (!Form.isList() || Form.size() == 0 || !Form[0].isSymbol())
     return fail(Form, "expected a command form");
+  const std::string &Head = Form[0].Text;
+
+  // (push)/(pop) are barrier commands: popContext wholesale-replaces the
+  // structures the transaction journals cover (poisoning them), and both
+  // validate their arguments before touching anything, so they run outside
+  // the per-command transaction.
+  if (Head == "push")
+    return execPush(Form);
+  if (Head == "pop")
+    return execPop(Form);
+
+  Graph.governor().arm();
+  Graph.resetCheckpointBudget();
+  EGraph::TxnMark Mark = Graph.txnBegin();
+  Engine::Snapshot EngineMark = Eng.snapshot();
+  size_t OutputsMark = Outputs.size();
+  bool Ok = false;
+  try {
+    EGGLOG_FAILPOINT("frontend.command");
+    Ok = dispatchCommand(Form);
+  } catch (const InjectedFault &F) {
+    failKind(Form, ErrKind::Runtime,
+             std::string("injected fault at '") + F.site() + "'");
+  } catch (const std::bad_alloc &) {
+    failKind(Form, ErrKind::Limit, "out of memory");
+  }
+  if (Ok) {
+    Graph.txnCommit();
+    return true;
+  }
+  Graph.txnRollback(Mark);
+  Eng.restore(EngineMark);
+  Outputs.resize(OutputsMark);
+  return false;
+}
+
+bool Frontend::dispatchCommand(const SExpr &Form) {
   const std::string &Head = Form[0].Text;
   if (Head == "sort")
     return execSort(Form);
@@ -82,10 +139,6 @@ bool Frontend::executeForm(const SExpr &Form) {
     return execRunSchedule(Form);
   if (Head == "set-option")
     return execSetOption(Form);
-  if (Head == "push")
-    return execPush(Form);
-  if (Head == "pop")
-    return execPop(Form);
   if (Head == "check")
     return execCheck(Form, /*ExpectFailure=*/false);
   if (Head == "check-fail")
@@ -377,7 +430,7 @@ bool Frontend::execDefine(const SExpr &Form) {
   FunctionId Func = Graph.declareFunction(std::move(Decl));
   Value NoArgs;
   if (!Graph.setValue(Func, &NoArgs, Result))
-    return fail(Form, Graph.errorMessage());
+    return failGraph(Form);
   return true;
 }
 
@@ -456,7 +509,7 @@ bool Frontend::execRun(const SExpr &Form) {
   }
   accumulatePhaseTotals();
   if (Graph.failed())
-    return fail(Form, Graph.errorMessage());
+    return failGraph(Form);
   return true;
 }
 
@@ -464,6 +517,33 @@ bool Frontend::execSetOption(const SExpr &Form) {
   if (Form.size() != 3 || !Form[1].isSymbol() || !isKeyword(Form[1]))
     return fail(Form, "usage: (set-option :option value)");
   const std::string &Option = Form[1].Text;
+  if (Option == ":timeout") {
+    // Per-command wall-clock budget in seconds (integer or float); 0
+    // disables. Unlike the legacy iteration-granular TimeoutSeconds run
+    // option, a governor timeout is a hard stop: the command fails with a
+    // limit error and rolls back.
+    double Seconds = 0;
+    if (Form[2].isInteger() && Form[2].IntValue >= 0)
+      Seconds = static_cast<double>(Form[2].IntValue);
+    else if (Form[2].isFloat() && Form[2].FloatValue >= 0)
+      Seconds = Form[2].FloatValue;
+    else
+      return fail(Form[2], ":timeout expects a non-negative number");
+    Graph.governor().setTimeout(Seconds);
+    return true;
+  }
+  if (Option == ":max-nodes") {
+    if (!Form[2].isInteger() || Form[2].IntValue < 0)
+      return fail(Form[2], ":max-nodes expects a non-negative integer");
+    Graph.governor().setMaxLive(static_cast<size_t>(Form[2].IntValue));
+    return true;
+  }
+  if (Option == ":max-memory-mb") {
+    if (!Form[2].isInteger() || Form[2].IntValue < 0)
+      return fail(Form[2], ":max-memory-mb expects a non-negative integer");
+    Graph.governor().setMaxBytes(static_cast<size_t>(Form[2].IntValue) << 20);
+    return true;
+  }
   if (Option == ":threads") {
     if (!Form[2].isInteger() || Form[2].IntValue < 1)
       return fail(Form[2], ":threads expects a positive integer");
@@ -556,7 +636,7 @@ bool Frontend::execRunSchedule(const SExpr &Form) {
   LastRun = Eng.runSchedule(Root, Options);
   accumulatePhaseTotals();
   if (Graph.failed())
-    return fail(Form, Graph.errorMessage());
+    return failGraph(Form);
   return true;
 }
 
@@ -595,7 +675,7 @@ bool Frontend::execPop(const SExpr &Form) {
   // Check up front so a failing (pop n) is atomic: it must not consume
   // the contexts that do exist before reporting the error.
   if (static_cast<size_t>(Count) > Contexts.size())
-    return fail(Form, "(pop) without a matching (push)");
+    return failKind(Form, ErrKind::Runtime, "(pop) without a matching (push)");
   for (int64_t I = 0; I < Count; ++I)
     popContext();
   return true;
@@ -612,12 +692,12 @@ bool Frontend::execCheck(const SExpr &Form, bool ExpectFailure) {
       return false;
     bool Holds = Graph.checkFact(Fact);
     if (Graph.failed())
-      return fail(Form[I], Graph.errorMessage());
+      return failGraph(Form[I]);
     if (Holds == ExpectFailure)
-      return fail(Form[I], ExpectFailure
-                               ? "check-fail succeeded unexpectedly: " +
-                                     Form[I].toString()
-                               : "check failed: " + Form[I].toString());
+      return failKind(Form[I], ErrKind::Runtime,
+                      ExpectFailure ? "check-fail succeeded unexpectedly: " +
+                                          Form[I].toString()
+                                    : "check failed: " + Form[I].toString());
   }
   return true;
 }
@@ -663,8 +743,9 @@ bool Frontend::execTopLevelAction(const SExpr &Form) {
   std::vector<Value> Env(Ctx.NumSlots);
   if (!Graph.runActions(Actions, Env)) {
     if (Graph.failed())
-      return fail(Form, Graph.errorMessage());
-    return fail(Form, "action failed: " + Form.toString());
+      return failGraph(Form);
+    return failKind(Form, ErrKind::Runtime,
+                    "action failed: " + Form.toString());
   }
   return true;
 }
@@ -673,7 +754,12 @@ bool Frontend::ensureRebuilt() {
   if (Graph.needsRebuild())
     Graph.rebuild();
   if (Graph.failed()) {
-    ErrorMsg = Graph.errorMessage();
+    if (ErrorMsg.empty()) {
+      ErrorMsg = Graph.errorMessage();
+      ErrKind Kind = Graph.errorKind();
+      LastError = EggError{Kind == ErrKind::None ? ErrKind::Runtime : Kind,
+                           Graph.errorMessage(), 0, 0};
+    }
     return false;
   }
   return true;

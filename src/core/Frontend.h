@@ -30,6 +30,7 @@
 
 #include "core/EGraph.h"
 #include "core/Engine.h"
+#include "support/Errors.h"
 #include "support/SExpr.h"
 
 #include <string>
@@ -47,10 +48,19 @@ public:
   /// error; error() describes it. Check failures are errors.
   bool execute(std::string_view Source);
 
-  /// Executes a single already-parsed top-level form.
+  /// Executes a single already-parsed top-level form. Every mutating
+  /// command runs inside an implicit transaction: on any error the
+  /// database, the engine's scheduler state, and the output buffer are
+  /// rolled back to their pre-command state, so a failed command leaves no
+  /// trace. (push)/(pop) are barrier commands — they validate up front and
+  /// manage whole-database snapshots themselves.
   bool executeForm(const SExpr &Form);
 
   const std::string &error() const { return ErrorMsg; }
+
+  /// Structured form of the last error: kind (drives exit codes), message,
+  /// and source location. Kind is None after a successful command.
+  const EggError &lastError() const { return LastError; }
 
   /// Output lines produced by extract (and other printing commands).
   const std::vector<std::string> &outputs() const { return Outputs; }
@@ -101,6 +111,7 @@ private:
   RunReport LastRun;
   PhaseTotals Totals;
   std::string ErrorMsg;
+  EggError LastError;
   std::vector<std::string> Outputs;
 
   /// The (push)/(pop) context stack: paired snapshots of the database and
@@ -139,6 +150,14 @@ private:
   static constexpr SortId InvalidSort = UINT32_MAX;
 
   bool fail(const SExpr &At, const std::string &Message);
+  bool failKind(const SExpr &At, ErrKind Kind, const std::string &Message);
+  /// Propagates the EGraph's error (message and kind) as a frontend error
+  /// located at \p At.
+  bool failGraph(const SExpr &At);
+
+  /// Dispatches one validated command form to its handler; called inside
+  /// the per-command transaction by executeForm.
+  bool dispatchCommand(const SExpr &Form);
 
   //===--- command handlers ----------------------------------------------===
 

@@ -154,6 +154,7 @@ std::optional<Value> Table::insert(const Value *Keys, Value Out,
     Live[Row] = false;
     --NumLive;
     ++Kills;
+    KillLog.push_back(static_cast<uint32_t>(Row));
     indexErase(Keys);
     size_t NewRow = Stamps.size();
     Cells.insert(Cells.end(), Keys, Keys + NumKeys);
@@ -188,6 +189,7 @@ bool Table::erase(const Value *Keys) {
   Live[Row] = false;
   --NumLive;
   ++Kills;
+  KillLog.push_back(static_cast<uint32_t>(Row));
   ++Version;
   indexErase(Keys);
   return true;
@@ -258,6 +260,10 @@ void Table::restore(const Snapshot &S) {
   NumLive = S.NumLive;
   Kills = S.Kills;
   StampsSorted = S.StampsSorted;
+  // The kill journal indexes rows of the pre-restore array; a restore is a
+  // journal epoch boundary (tracked by Resets, which open transaction marks
+  // assert against).
+  KillLog.clear();
   ++Version;
   ++Resets;
 
@@ -289,12 +295,76 @@ void Table::restore(const Snapshot &S) {
     Indexes->invalidate();
 }
 
+void Table::rollbackTo(const TxnMark &M) {
+  assert(M.Resets == Resets &&
+         "transaction mark straddles a restore()/clear() epoch");
+  assert(M.Rows <= Stamps.size() && "mark is from a different table");
+  // An aborted rebuild may have consumed occurrence chains (takeOccurrences
+  // detaches the chain before the rows are rewritten) for ids that rollback
+  // returns to the dirty worklist; those chains must come back. Wipe the
+  // index and let the lazy catch-up rescan — even on the cheap path below,
+  // where the row data itself is untouched.
+  OccHead.clear();
+  OccPool.clear();
+  OccTracked = 0;
+  // Cheap path: the command never appended or killed here — the row data,
+  // key index, and cached column indexes all stay warm.
+  if (M.Rows == Stamps.size() && M.KillLogSize == KillLog.size())
+    return;
+
+  // Resurrect the rows killed since the mark. Each row dies at most once,
+  // so the journaled suffix has no duplicates; entries pointing at rows
+  // appended after the mark are about to be truncated anyway.
+  for (size_t K = M.KillLogSize; K < KillLog.size(); ++K)
+    if (KillLog[K] < M.Rows)
+      Live[KillLog[K]] = true;
+  KillLog.resize(M.KillLogSize);
+  Cells.resize(M.Rows * rowWidth());
+  Stamps.resize(M.Rows);
+  Live.resize(M.Rows);
+  NumLive = M.NumLive;
+  Kills = M.Kills;
+  StampsSorted = M.StampsSorted;
+  ++Version;
+  ++Resets;
+
+  // Same derived-state reset as restore(): rebuild the key index from the
+  // surviving live rows and drop incremental consumers (resurrection
+  // breaks their monotone-death assumptions).
+  size_t MinSlots = 16;
+  while (NumLive * 10 >= MinSlots * 7)
+    MinSlots *= 2;
+  Slots.assign(MinSlots, 0);
+  SlotMask = Slots.size() - 1;
+  for (size_t Row = 0; Row < M.Rows; ++Row) {
+    if (!Live[Row])
+      continue;
+    uint64_t Hash = hashKeys(row(Row));
+    size_t Slot = Hash & SlotMask;
+    while (Slots[Slot] != 0)
+      Slot = (Slot + 1) & SlotMask;
+    Slots[Slot] = Row + 1;
+  }
+  if (Indexes)
+    Indexes->invalidate();
+}
+
+size_t Table::approxBytes() const {
+  return Cells.capacity() * sizeof(Value) +
+         Stamps.capacity() * sizeof(uint32_t) + Live.capacity() / 8 +
+         KillLog.capacity() * sizeof(uint32_t) +
+         Slots.capacity() * sizeof(uint64_t) +
+         OccHead.capacity() * sizeof(int32_t) +
+         OccPool.capacity() * sizeof(OccNode);
+}
+
 void Table::clear() {
   Cells.clear();
   Stamps.clear();
   Live.clear();
   NumLive = 0;
   StampsSorted = true;
+  KillLog.clear();
   ++Version;
   ++Resets;
   Slots.assign(16, 0);

@@ -210,6 +210,35 @@ public:
   /// their monotone-death refresh assumption).
   void restore(const Snapshot &S);
 
+  /// Transactional mode. Unlike Snapshot, a mark is O(1) — no liveness
+  /// bitmap copy. Rollback is possible without one because every kill since
+  /// the mark is recorded in the (always-on) kill journal: rows are
+  /// append-only, each row is killed at most once, so resurrecting the
+  /// journaled suffix and truncating the appended rows restores the exact
+  /// live content.
+  struct TxnMark {
+    size_t Rows = 0;
+    size_t KillLogSize = 0;
+    size_t NumLive = 0;
+    uint64_t Kills = 0;
+    uint64_t Resets = 0;
+    bool StampsSorted = true;
+  };
+
+  TxnMark txnMark() const {
+    return TxnMark{Stamps.size(), KillLog.size(), NumLive,
+                   Kills,         Resets,         StampsSorted};
+  }
+
+  /// Rolls the table back to \p M. No-op (caches stay warm) when nothing
+  /// was appended or killed since the mark. Must not be interleaved with
+  /// restore()/clear() — those reset the kill journal (asserted via the
+  /// Resets counter in the mark).
+  void rollbackTo(const TxnMark &M);
+
+  /// Approximate bytes held by this table (for the governor's ceiling).
+  size_t approxBytes() const;
+
 private:
   unsigned NumKeys;
   std::vector<Value> Cells;
@@ -223,6 +252,10 @@ private:
   /// under the engine's monotonic timestamp); enables a binary search in
   /// liveCountAtLeast.
   bool StampsSorted = true;
+  /// Row indexes killed since the last restore()/clear(), in kill order.
+  /// Always on (4 bytes per kill, reclaimed at the next reset) so command
+  /// transactions can roll kills back without a per-command bitmap copy.
+  std::vector<uint32_t> KillLog;
   mutable std::unique_ptr<IndexCache> Indexes;
 
   /// Row columns holding uninterpreted ids (key positions; NumKeys means

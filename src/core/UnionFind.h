@@ -41,9 +41,21 @@ public:
   uint64_t find(uint64_t Id) const {
     assert(Id < Parents.size() && "find of unknown id");
     // Iterative path halving; Parents is mutable for amortized compression.
+    // While a transaction journal is open, every *effective* parent write
+    // (compression shortcuts included — an undo log of union links alone is
+    // unsound, because compression can shortcut across a post-mark union)
+    // records the old edge so rollback can replay it in reverse. No-op
+    // halving steps are skipped so the journal stays proportional to real
+    // compression work.
     while (Parents[Id] != Id) {
-      Parents[Id] = Parents[Parents[Id]];
-      Id = Parents[Id];
+      uint64_t Parent = Parents[Id];
+      uint64_t Grand = Parents[Parent];
+      if (Parent != Grand) {
+        if (Journaling)
+          UndoLog.push_back({Id, Parent});
+        Parents[Id] = Grand;
+      }
+      Id = Grand;
     }
     return Id;
   }
@@ -60,6 +72,8 @@ public:
       return RootA;
     if (RootB < RootA)
       std::swap(RootA, RootB);
+    if (Journaling)
+      UndoLog.push_back({RootB, RootB});
     Parents[RootB] = RootA;
     ++UnionCount;
     // The losing root is exactly the id that just stopped being canonical:
@@ -132,15 +146,81 @@ public:
     Dirty = S.Dirty;
     UnionCount = S.UnionCount;
     MergeLog.resize(S.MergeLogSize);
+    // A wholesale replace invalidates any open write journal: the journaled
+    // old edges refer to an array that no longer exists. Barrier commands
+    // (push/pop) run outside transactions so this only poisons the journal
+    // defensively; txnRollback asserts it never sees the poison.
+    if (Journaling) {
+      UndoLog.clear();
+      Poisoned = true;
+    }
+  }
+
+  /// Transactional mode: unlike Snapshot (a full Parents copy, paid per
+  /// (push)), a transaction pays O(1) at begin and journals parent writes
+  /// as they happen, so the no-error commit path costs nothing beyond the
+  /// per-write branch. Rollback replays the journal in reverse.
+  struct TxnMark {
+    size_t NumIds = 0;
+    size_t MergeLogSize = 0;
+    uint64_t UnionCount = 0;
+    std::vector<uint64_t> Dirty;
+  };
+
+  TxnMark txnBegin() {
+    assert(!Journaling && "nested union-find transactions are not supported");
+    Journaling = true;
+    Poisoned = false;
+    UndoLog.clear();
+    return TxnMark{Parents.size(), MergeLog.size(), UnionCount, Dirty};
+  }
+
+  void txnCommit() {
+    Journaling = false;
+    UndoLog.clear();
+  }
+
+  /// Undoes every parent write since txnBegin (reverse replay), forgets ids
+  /// created since, and restores the rebuild worklist.
+  void txnRollback(const TxnMark &M) {
+    assert(Journaling && "txnRollback without an open transaction");
+    assert(!Poisoned && "union-find was wholesale-replaced mid-transaction");
+    for (size_t I = UndoLog.size(); I-- > 0;)
+      Parents[UndoLog[I].Id] = UndoLog[I].Old;
+    Parents.resize(M.NumIds);
+    Dirty = M.Dirty;
+    UnionCount = M.UnionCount;
+    MergeLog.resize(M.MergeLogSize);
+    Journaling = false;
+    UndoLog.clear();
+  }
+
+  bool inTransaction() const { return Journaling; }
+
+  /// Approximate bytes held (for the resource governor's memory ceiling).
+  size_t approxBytes() const {
+    return Parents.capacity() * sizeof(uint64_t) +
+           Dirty.capacity() * sizeof(uint64_t) +
+           MergeLog.capacity() * sizeof(uint64_t) +
+           UndoLog.capacity() * sizeof(UndoEntry);
   }
 
 private:
+  struct UndoEntry {
+    uint64_t Id;
+    uint64_t Old;
+  };
+
   mutable std::vector<uint64_t> Parents;
   /// Roots that lost a unite() since the last takeDirty(), in merge order.
   std::vector<uint64_t> Dirty;
   /// Every losing root since enableMergeLog(), in merge order.
   std::vector<uint64_t> MergeLog;
+  /// Old parent edges overwritten while Journaling, in write order.
+  mutable std::vector<UndoEntry> UndoLog;
   bool LogMerges = false;
+  bool Journaling = false;
+  bool Poisoned = false;
   uint64_t UnionCount = 0;
 };
 

@@ -1,0 +1,97 @@
+//===- support/Errors.h - Structured error taxonomy ------------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structured error taxonomy for the whole stack. Every failure that can
+/// reach a user — a parse error, a typechecking failure, a prim panic at
+/// runtime, a resource-limit trip, a cooperative cancellation — is
+/// classified by an ErrKind and carries the source location of the command
+/// form that triggered it. The Frontend renders these uniformly
+/// ("line N: msg", kept stable for existing tests), and egglog_run maps
+/// kinds onto process exit codes (0 ok, 1 user error, 2 limit/cancelled,
+/// 3 internal).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_SUPPORT_ERRORS_H
+#define EGGLOG_SUPPORT_ERRORS_H
+
+#include <string>
+
+namespace egglog {
+
+/// What went wrong, at taxonomy granularity. The split matters operationally:
+/// Parse/Type/IO are the user's fault and deterministic; Runtime is the
+/// program's fault (a prim panic, a merge conflict); Limit/Cancelled are the
+/// environment's decision and retryable; Internal is our bug.
+enum class ErrKind {
+  None,      ///< No error (default-constructed EggError).
+  Parse,     ///< The source text is not a well-formed program.
+  Type,      ///< A well-formed command is ill-typed or malformed.
+  Runtime,   ///< Execution failed: prim panic, merge conflict, check failed.
+  Limit,     ///< A resource ceiling tripped (timeout, nodes, memory).
+  Cancelled, ///< A cooperative cancellation request was honoured.
+  IO,        ///< A file could not be read or written.
+  Internal,  ///< An invariant we own was violated — a bug in egglog-cpp.
+};
+
+/// Stable lowercase names, used in rendered messages and test assertions.
+inline const char *errKindName(ErrKind Kind) {
+  switch (Kind) {
+  case ErrKind::None:
+    return "ok";
+  case ErrKind::Parse:
+    return "parse error";
+  case ErrKind::Type:
+    return "error";
+  case ErrKind::Runtime:
+    return "runtime error";
+  case ErrKind::Limit:
+    return "limit";
+  case ErrKind::Cancelled:
+    return "cancelled";
+  case ErrKind::IO:
+    return "io error";
+  case ErrKind::Internal:
+    return "internal error";
+  }
+  return "error";
+}
+
+/// Process exit status for a failure of this kind (egglog_run contract:
+/// 0 ok, 1 user error, 2 limit/cancelled, 3 internal).
+inline int errExitCode(ErrKind Kind) {
+  switch (Kind) {
+  case ErrKind::None:
+    return 0;
+  case ErrKind::Parse:
+  case ErrKind::Type:
+  case ErrKind::Runtime:
+  case ErrKind::IO:
+    return 1;
+  case ErrKind::Limit:
+  case ErrKind::Cancelled:
+    return 2;
+  case ErrKind::Internal:
+    return 3;
+  }
+  return 3;
+}
+
+/// One structured error: kind, human message, and the 1-based source
+/// location of the command form it was raised on (0 when unknown).
+struct EggError {
+  ErrKind Kind = ErrKind::None;
+  std::string Message;
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  explicit operator bool() const { return Kind != ErrKind::None; }
+};
+
+} // namespace egglog
+
+#endif // EGGLOG_SUPPORT_ERRORS_H

@@ -1,0 +1,62 @@
+//===- support/FailPoints.cpp - Deterministic fault injection ------------===//
+//
+// Part of egglog-cpp. Whole file compiles away when failpoints are disabled
+// (release and bench builds), keeping the harness strictly zero-cost there.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FailPoints.h"
+
+#if EGGLOG_FAILPOINTS_ENABLED
+
+#include <atomic>
+#include <cstring>
+
+namespace egglog {
+namespace failpoints {
+
+namespace {
+
+// The armed site filter is a raw pointer to a string literal owned by the
+// arming test; tests must disarm before the literal's TU unloads (never an
+// issue in practice — literals live in rodata for the process lifetime).
+std::atomic<const char *> ArmedSite{nullptr};
+std::atomic<uint64_t> FireAt{0};
+std::atomic<uint64_t> Hits{0};
+std::atomic<bool> Armed{false};
+
+bool matches(const char *Site) {
+  const char *Filter = ArmedSite.load(std::memory_order_acquire);
+  if (!Filter || !*Filter)
+    return true;
+  return std::strcmp(Filter, Site) == 0;
+}
+
+} // namespace
+
+void arm(const char *Site, uint64_t FireAtHit) {
+  Hits.store(0, std::memory_order_relaxed);
+  ArmedSite.store(Site, std::memory_order_release);
+  FireAt.store(FireAtHit, std::memory_order_release);
+  Armed.store(true, std::memory_order_release);
+}
+
+void disarm() { Armed.store(false, std::memory_order_release); }
+
+uint64_t hits() { return Hits.load(std::memory_order_acquire); }
+
+void hit(const char *Site) {
+  if (!Armed.load(std::memory_order_acquire))
+    return;
+  if (!matches(Site))
+    return;
+  uint64_t Hit = Hits.fetch_add(1, std::memory_order_acq_rel) + 1;
+  uint64_t Target = FireAt.load(std::memory_order_acquire);
+  if (Target != 0 && Hit == Target)
+    throw InjectedFault(Site);
+}
+
+} // namespace failpoints
+} // namespace egglog
+
+#endif // EGGLOG_FAILPOINTS_ENABLED

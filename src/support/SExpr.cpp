@@ -103,6 +103,13 @@ private:
   ParseResult &Result;
   size_t Position = 0;
   unsigned Line = 1;
+  /// Offset of the first byte of the current line; the 1-based column of
+  /// the cursor is Position - LineStartPos + 1.
+  size_t LineStartPos = 0;
+
+  unsigned col() const {
+    return static_cast<unsigned>(Position - LineStartPos + 1);
+  }
 
   void fail(const std::string &Message) {
     if (!Result.Ok)
@@ -110,6 +117,7 @@ private:
     Result.Ok = false;
     Result.Error = Message;
     Result.ErrorLine = Line;
+    Result.ErrorCol = col();
   }
 
   void skipSpace() {
@@ -118,6 +126,7 @@ private:
       if (C == '\n') {
         ++Line;
         ++Position;
+        LineStartPos = Position;
       } else if (std::isspace(static_cast<unsigned char>(C))) {
         ++Position;
       } else if (C == ';') {
@@ -149,6 +158,7 @@ private:
 
   SExpr readList() {
     unsigned StartLine = Line;
+    unsigned StartCol = col();
     ++Position; // consume '('
     std::vector<SExpr> Elements;
     while (true) {
@@ -160,7 +170,9 @@ private:
       }
       if (Source[Position] == ')') {
         ++Position;
-        return SExpr::makeList(std::move(Elements), StartLine);
+        SExpr Node = SExpr::makeList(std::move(Elements), StartLine);
+        Node.Col = StartCol;
+        return Node;
       }
       SExpr Element = readForm();
       if (!Result.Ok)
@@ -171,6 +183,7 @@ private:
 
   SExpr readString() {
     unsigned StartLine = Line;
+    unsigned StartCol = col();
     ++Position; // consume '"'
     std::string Contents;
     while (true) {
@@ -179,10 +192,15 @@ private:
         return SExpr();
       }
       char C = Source[Position++];
-      if (C == '"')
-        return SExpr::makeString(std::move(Contents), StartLine);
-      if (C == '\n')
+      if (C == '"') {
+        SExpr Node = SExpr::makeString(std::move(Contents), StartLine);
+        Node.Col = StartCol;
+        return Node;
+      }
+      if (C == '\n') {
         ++Line;
+        LineStartPos = Position;
+      }
       if (C == '\\') {
         if (Position >= Source.size()) {
           fail("unterminated escape in string literal");
@@ -213,6 +231,7 @@ private:
 
   SExpr readAtom() {
     unsigned StartLine = Line;
+    unsigned StartCol = col();
     size_t Start = Position;
     while (Position < Source.size() && !isDelimiter(Source[Position]))
       ++Position;
@@ -266,7 +285,9 @@ private:
         fail("integer literal out of range: " + Buffer);
         return SExpr();
       }
-      return SExpr::makeInteger(Value, StartLine);
+      SExpr Node = SExpr::makeInteger(Value, StartLine);
+      Node.Col = StartCol;
+      return Node;
     }
     if (AllDigits) {
       std::string Buffer(Token);
@@ -274,9 +295,12 @@ private:
       Node.NodeKind = SExpr::Kind::Float;
       Node.FloatValue = std::strtod(Buffer.c_str(), nullptr);
       Node.Line = StartLine;
+      Node.Col = StartCol;
       return Node;
     }
-    return SExpr::makeSymbol(std::string(Token), StartLine);
+    SExpr Node = SExpr::makeSymbol(std::string(Token), StartLine);
+    Node.Col = StartCol;
+    return Node;
   }
 };
 

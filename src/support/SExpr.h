@@ -31,8 +31,9 @@ struct SExpr {
   int64_t IntValue = 0;
   double FloatValue = 0;
   std::vector<SExpr> Elements;
-  /// 1-based source line for diagnostics.
+  /// 1-based source line/column for diagnostics (0 = unknown).
   unsigned Line = 0;
+  unsigned Col = 0;
 
   bool isSymbol() const { return NodeKind == Kind::Symbol; }
   bool isSymbol(std::string_view Name) const {
@@ -65,6 +66,7 @@ struct ParseResult {
   bool Ok = true;
   std::string Error;
   unsigned ErrorLine = 0;
+  unsigned ErrorCol = 0;
 };
 
 /// Parses a whole source buffer into top-level forms.

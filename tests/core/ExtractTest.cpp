@@ -13,6 +13,7 @@
 
 #include "core/Extract.h"
 #include "core/Frontend.h"
+#include "support/FailPoints.h"
 #include "support/NumberFormat.h"
 
 #include <gtest/gtest.h>
@@ -583,3 +584,55 @@ TEST(ExtractTest, RandomizedDifferentialMatchesReference) {
     Driver.run(220);
   }
 }
+
+#if EGGLOG_FAILPOINTS_ENABLED
+
+TEST(ExtractTest, InjectedFaultDuringExtractRollsBack) {
+  // A fault swept across every hit of (extract e) — the command entry,
+  // the pre-extract rebuild, and the index's scan and drain rows — must
+  // leave no trace: content hash unchanged, no output emitted, and the
+  // eventual clean extraction equal to a never-faulted one. The index is
+  // invalidated before every attempt so each extraction is from-scratch
+  // (among equal-cost terms the winner depends on the index's maintenance
+  // history, so only from-scratch runs are comparable).
+  struct Disarm {
+    ~Disarm() { failpoints::disarm(); }
+  } Guard;
+
+  Frontend F;
+  ASSERT_TRUE(F.execute(R"(
+    (datatype Math (Num i64) (Add Math Math))
+    (rewrite (Add a b) (Add b a))
+    (rewrite (Add (Num x) (Num y)) (Num (+ x y)))
+    (define e (Add (Num 1) (Add (Num 2) (Num 3))))
+    (run 3)
+  )")) << F.error();
+  F.graph().governor().setCheckpointInterval(1);
+
+  F.graph().extractIndex().invalidate();
+  ASSERT_TRUE(F.execute("(extract e)")) << F.error();
+  ASSERT_EQ(F.outputs().size(), 1u);
+  std::string Expected = F.outputs().back();
+  F.clearOutputs();
+
+  uint64_t Before = F.graph().liveContentHash();
+  size_t Faults = 0;
+  for (uint64_t K = 1;; K = K < 8 ? K + 1 : K + (K >> 1)) {
+    F.graph().extractIndex().invalidate();
+    failpoints::arm(nullptr, K);
+    bool Ok = F.execute("(extract e)");
+    failpoints::disarm();
+    if (Ok)
+      break;
+    ++Faults;
+    ASSERT_NE(F.error().find("injected fault"), std::string::npos)
+        << F.error();
+    EXPECT_EQ(F.graph().liveContentHash(), Before) << "hit " << K;
+    EXPECT_TRUE(F.outputs().empty()) << "hit " << K;
+  }
+  EXPECT_GT(Faults, 2u);
+  ASSERT_EQ(F.outputs().size(), 1u);
+  EXPECT_EQ(F.outputs().back(), Expected);
+}
+
+#endif // EGGLOG_FAILPOINTS_ENABLED

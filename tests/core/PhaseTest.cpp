@@ -14,6 +14,7 @@
 
 #include "core/Frontend.h"
 #include "core/Query.h"
+#include "support/FailPoints.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
@@ -378,5 +379,50 @@ TEST(ThreadPoolTest, SingleThreadRunsInline) {
   for (size_t I = 0; I < 8; ++I)
     EXPECT_EQ(Order[I], I); // inline mode preserves index order
 }
+
+#if EGGLOG_FAILPOINTS_ENABLED
+
+TEST(PhaseDeterminismTest, InjectedFaultMidRunRollsBackAtFourThreads) {
+  // A fault injected anywhere inside a 4-thread (run) — match steps,
+  // apply, rebuild rows — rolls the database back to the pre-command
+  // state, and the eventual clean run lands on the same content hash as
+  // an engine that never faulted.
+  struct Disarm {
+    ~Disarm() { failpoints::disarm(); }
+  } Guard;
+
+  auto Setup = [](Frontend &F) {
+    ASSERT_TRUE(F.execute(DeterminismProgram)) << F.error();
+    ASSERT_TRUE(F.execute("(edge 0 1) (edge 1 2) (edge 2 3) (edge 3 0)"))
+        << F.error();
+    F.engine().setThreads(4);
+    F.graph().governor().setCheckpointInterval(1);
+  };
+
+  Frontend Clean;
+  Setup(Clean);
+  ASSERT_TRUE(Clean.execute("(run 4)")) << Clean.error();
+
+  Frontend F;
+  Setup(F);
+  uint64_t Before = F.graph().liveContentHash();
+  size_t Faults = 0;
+  for (uint64_t K = 1;; K = K < 8 ? K + 1 : K + (K >> 1)) {
+    failpoints::arm(nullptr, K);
+    bool Ok = F.execute("(run 4)");
+    failpoints::disarm();
+    if (Ok)
+      break;
+    ++Faults;
+    ASSERT_NE(F.error().find("injected fault"), std::string::npos)
+        << F.error();
+    ASSERT_EQ(F.graph().liveContentHash(), Before) << "hit " << K;
+  }
+  EXPECT_GT(Faults, 0u);
+  EXPECT_EQ(F.graph().liveContentHash(), Clean.graph().liveContentHash());
+  EXPECT_EQ(F.graph().liveTupleCount(), Clean.graph().liveTupleCount());
+}
+
+#endif // EGGLOG_FAILPOINTS_ENABLED
 
 } // namespace

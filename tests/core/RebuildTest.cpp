@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/EGraph.h"
+#include "support/FailPoints.h"
 
 #include <gtest/gtest.h>
 
@@ -329,3 +330,77 @@ TEST(RebuildTest, NoDirtyMeansNoPasses) {
   }
   EXPECT_EQ(G.rebuild(), 0u);
 }
+
+#if EGGLOG_FAILPOINTS_ENABLED
+
+namespace {
+
+/// Twelve ids, each under the unary function, fully rebuilt.
+void populate(TestDb &Db, std::vector<Value> &Ids) {
+  EGraph &G = Db.G;
+  for (int I = 0; I < 12; ++I)
+    Ids.push_back(G.freshId(Db.S));
+  for (int I = 0; I < 12; ++I) {
+    Value Out;
+    ASSERT_TRUE(G.getOrCreate(Db.UnaryF, &Ids[I], Out));
+    Ids.push_back(Out);
+  }
+  G.rebuild();
+}
+
+/// Pairwise unions whose rebuild cascades through the occurrence lists.
+void churn(TestDb &Db, const std::vector<Value> &Ids) {
+  for (int I = 0; I + 1 < 12; I += 2)
+    Db.G.unionValues(Ids[I], Ids[I + 1]);
+}
+
+} // namespace
+
+TEST(RebuildTest, AbortedRebuildRollsBackAndComposes) {
+  // A rebuild aborted at its k-th row (swept across every k) must roll
+  // back to the pre-transaction state — including the occurrence lists an
+  // aborted pass may have consumed — and a clean retry must land on the
+  // same content as a database that never faulted.
+  struct Disarm {
+    ~Disarm() { failpoints::disarm(); }
+  } Guard;
+
+  TestDb Faulty(/*FullRebuild=*/false), Ref(/*FullRebuild=*/false);
+  std::vector<Value> FaultyIds, RefIds;
+  populate(Faulty, FaultyIds);
+  populate(Ref, RefIds);
+  Faulty.G.governor().setCheckpointInterval(1);
+
+  uint64_t Before = Faulty.G.liveContentHash();
+  size_t Faults = 0;
+  for (uint64_t K = 1;; K = K < 8 ? K + 1 : K + (K >> 1)) {
+    EGraph::TxnMark Mark = Faulty.G.txnBegin();
+    churn(Faulty, FaultyIds);
+    bool Ok = true;
+    failpoints::arm("rebuild.row", K);
+    try {
+      Faulty.G.rebuild();
+    } catch (const InjectedFault &) {
+      Ok = false;
+    }
+    failpoints::disarm();
+    if (Ok) {
+      Faulty.G.txnCommit();
+      break;
+    }
+    ++Faults;
+    Faulty.G.txnRollback(Mark);
+    ASSERT_EQ(Faulty.G.liveContentHash(), Before) << "hit " << K;
+    // The rolled-back database is fully canonical: rebuilding is a no-op.
+    Faulty.G.rebuild();
+    ASSERT_EQ(Faulty.G.liveContentHash(), Before) << "hit " << K;
+  }
+  EXPECT_GT(Faults, 0u);
+
+  churn(Ref, RefIds);
+  Ref.G.rebuild();
+  EXPECT_EQ(Faulty.G.liveContentHash(), Ref.G.liveContentHash());
+  EXPECT_EQ(Faulty.G.liveTupleCount(), Ref.G.liveTupleCount());
+}
+
+#endif // EGGLOG_FAILPOINTS_ENABLED

@@ -10,15 +10,27 @@
 //        egglog-run --no-seminaive ...     disable semi-naive evaluation
 //        egglog-run --backoff ...          enable the BackOff scheduler
 //        egglog-run --threads N ...        match rules on N threads
+//        egglog-run --timeout S ...        per-command wall-clock budget
+//        egglog-run --max-memory MB ...    approximate memory ceiling
+//        egglog-run --keep-going ...       report errors, keep executing
 //        egglog-run --stats ...            dump per-phase timing at exit
 //        egglog-run --extract ...          dump extraction-cache stats at exit
+//
+// Exit codes: 0 success, 1 user error (parse/type/runtime/io), 2 resource
+// limit or cancellation, 3 internal error. Errors go to stderr as
+// "file:line:col: kind: message". Failed commands roll back, so with
+// --keep-going the remaining program still runs against a consistent
+// database (batch linting).
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Extract.h"
 #include "core/Frontend.h"
+#include "support/Errors.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -31,17 +43,49 @@ using namespace egglog;
 
 namespace {
 
+void reportError(const std::string &Label, const EggError &E,
+                 const std::string &Fallback) {
+  const char *Kind = errKindName(E.Kind == ErrKind::None ? ErrKind::Runtime
+                                                         : E.Kind);
+  const std::string &Message = E.Message.empty() ? Fallback : E.Message;
+  if (E.Line > 0)
+    std::fprintf(stderr, "%s:%u:%u: %s: %s\n", Label.c_str(), E.Line, E.Col,
+                 Kind, Message.c_str());
+  else
+    std::fprintf(stderr, "%s: %s: %s\n", Label.c_str(), Kind,
+                 Message.c_str());
+}
+
 int runProgram(Frontend &F, const std::string &Source,
-               const std::string &Label) {
+               const std::string &Label, bool KeepGoing) {
   size_t OutputsBefore = F.outputs().size();
-  if (!F.execute(Source)) {
-    std::fprintf(stderr, "%s: error: %s\n", Label.c_str(),
-                 F.error().c_str());
-    return 1;
+  int Status = 0;
+  if (!KeepGoing) {
+    if (!F.execute(Source)) {
+      reportError(Label, F.lastError(), F.error());
+      Status = std::max(1, errExitCode(F.lastError().Kind));
+    }
+  } else {
+    // Parse once, then execute form by form: each failed command reports
+    // its error and rolls back, and execution continues with the next one.
+    ParseResult Parsed = parseSExprs(Source);
+    if (!Parsed.Ok) {
+      EggError E{ErrKind::Parse, Parsed.Error, Parsed.ErrorLine,
+                 Parsed.ErrorCol};
+      reportError(Label, E, Parsed.Error);
+      Status = errExitCode(ErrKind::Parse);
+    } else {
+      for (const SExpr &Form : Parsed.Forms)
+        if (!F.executeForm(Form)) {
+          reportError(Label, F.lastError(), F.error());
+          Status = std::max(Status,
+                            std::max(1, errExitCode(F.lastError().Kind)));
+        }
+    }
   }
   for (size_t I = OutputsBefore; I < F.outputs().size(); ++I)
     std::printf("%s\n", F.outputs()[I].c_str());
-  return 0;
+  return Status;
 }
 
 /// --stats: per-phase totals over every (run ...) the programs executed,
@@ -83,6 +127,7 @@ int main(int argc, char **argv) {
   std::vector<std::string> Files;
   bool Stats = false;
   bool ExtractStats = false;
+  bool KeepGoing = false;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--no-seminaive") == 0)
       F.runOptions().SemiNaive = false;
@@ -92,6 +137,8 @@ int main(int argc, char **argv) {
       Stats = true;
     else if (std::strcmp(argv[I], "--extract") == 0)
       ExtractStats = true;
+    else if (std::strcmp(argv[I], "--keep-going") == 0)
+      KeepGoing = true;
     else if (std::strcmp(argv[I], "--threads") == 0) {
       int N = I + 1 < argc ? std::atoi(argv[++I]) : 0;
       if (N < 1) {
@@ -99,9 +146,29 @@ int main(int argc, char **argv) {
         return 1;
       }
       F.engine().setThreads(static_cast<unsigned>(N));
+    } else if (std::strcmp(argv[I], "--timeout") == 0) {
+      double S = I + 1 < argc ? std::atof(argv[++I]) : -1;
+      if (S < 0) {
+        std::fprintf(stderr, "--timeout expects a non-negative number of "
+                             "seconds\n");
+        return 1;
+      }
+      F.graph().governor().setTimeout(S);
+    } else if (std::strcmp(argv[I], "--max-memory") == 0) {
+      long MB = I + 1 < argc ? std::atol(argv[++I]) : -1;
+      if (MB < 0) {
+        std::fprintf(stderr, "--max-memory expects a non-negative number of "
+                             "megabytes\n");
+        return 1;
+      }
+      F.graph().governor().setMaxBytes(static_cast<size_t>(MB) << 20);
     } else if (std::strcmp(argv[I], "--help") == 0) {
-      std::printf("usage: egglog-run [--no-seminaive] [--backoff] "
-                  "[--threads N] [--stats] [--extract] [file.egg ...]\n");
+      std::printf(
+          "usage: egglog-run [--no-seminaive] [--backoff] [--threads N]\n"
+          "                  [--timeout S] [--max-memory MB] [--keep-going]\n"
+          "                  [--stats] [--extract] [file.egg ...]\n"
+          "exit codes: 0 success, 1 user error, 2 limit/cancelled, "
+          "3 internal\n");
       return 0;
     } else {
       Files.push_back(argv[I]);
@@ -111,18 +178,23 @@ int main(int argc, char **argv) {
   int Status = 0;
   if (Files.empty()) {
     std::string Source(std::istreambuf_iterator<char>(std::cin.rdbuf()), {});
-    Status = runProgram(F, Source, "<stdin>");
+    Status = runProgram(F, Source, "<stdin>", KeepGoing);
   } else {
     for (const std::string &Path : Files) {
       std::ifstream Stream(Path);
       if (!Stream) {
-        std::fprintf(stderr, "cannot open %s\n", Path.c_str());
-        Status = 1;
-        break;
+        EggError E{ErrKind::IO, "cannot open file", 0, 0};
+        reportError(Path, E, "cannot open file");
+        Status = std::max(Status, errExitCode(ErrKind::IO));
+        if (!KeepGoing)
+          break;
+        continue;
       }
       std::stringstream Buffer;
       Buffer << Stream.rdbuf();
-      if ((Status = runProgram(F, Buffer.str(), Path)))
+      int FileStatus = runProgram(F, Buffer.str(), Path, KeepGoing);
+      Status = std::max(Status, FileStatus);
+      if (Status && !KeepGoing)
         break;
     }
   }
