@@ -49,7 +49,7 @@ int main(int argc, char **argv) {
   // Totals over every program (timeouts included at their measured cost),
   // for the machine-readable trajectory record.
   double EgglogTotal = 0, EgglogSearch = 0, EgglogApply = 0,
-         EgglogRebuild = 0;
+         EgglogApplyStage = 0, EgglogRebuild = 0, EgglogRebuildGather = 0;
 
   for (const Program &P : Suite) {
     std::printf("%-22s %8zu", P.Name.c_str(), P.numInstructions());
@@ -63,7 +63,9 @@ int main(int argc, char **argv) {
         EgglogTotal += Result.Seconds;
         EgglogSearch += Result.SearchSeconds;
         EgglogApply += Result.ApplySeconds;
+        EgglogApplyStage += Result.ApplyStageSeconds;
         EgglogRebuild += Result.RebuildSeconds;
+        EgglogRebuildGather += Result.RebuildGatherSeconds;
       }
       if (Result.TimedOut) {
         ++Timeouts[S];
@@ -107,8 +109,10 @@ int main(int argc, char **argv) {
   std::printf("{\"bench\": \"pointsto\", \"system\": \"egglog\", "
               "\"programs\": %zu, \"timeouts\": %zu, \"threads\": %u, "
               "\"search_s\": %.6f, \"match_s\": %.6f, \"apply_s\": %.6f, "
-              "\"rebuild_s\": %.6f, \"total_s\": %.6f}\n",
+              "\"apply_stage_s\": %.6f, \"rebuild_s\": %.6f, "
+              "\"rebuild_gather_s\": %.6f, \"total_s\": %.6f}\n",
               Suite.size(), Timeouts[4], Threads, EgglogSearch, EgglogSearch,
-              EgglogApply, EgglogRebuild, EgglogTotal);
+              EgglogApply, EgglogApplyStage, EgglogRebuild,
+              EgglogRebuildGather, EgglogTotal);
   return 0;
 }

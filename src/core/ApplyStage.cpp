@@ -1,0 +1,420 @@
+//===- core/ApplyStage.cpp - Parallel apply staging --------------------------===//
+//
+// Part of egglog-cpp. See ApplyStage.h for an overview and DESIGN.md for
+// the determinism argument.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ApplyStage.h"
+
+#include "core/EGraph.h"
+
+#include <cassert>
+
+using namespace egglog;
+
+namespace {
+
+bool isPlaceholder(const SortTable &Sorts, Value V) {
+  return Sorts.kind(V.Sort) == SortKind::User &&
+         (V.Bits & StagedPlaceholderBit) != 0;
+}
+
+/// Stage-safety of one primitive signature: mirrors the read-only match
+/// classifier (Engine.cpp queryIsParallelSafe). Base-sort output means no
+/// interner writes; no User/Set argument means no canonicalization (and no
+/// placeholder can ever flow in, since placeholders are User-sorted).
+bool primIsStageSafe(const EGraph &G, uint32_t PrimId) {
+  const Primitive &Prim = G.primitives().get(PrimId);
+  switch (G.sorts().kind(Prim.OutSort)) {
+  case SortKind::Unit:
+  case SortKind::Bool:
+  case SortKind::I64:
+  case SortKind::F64:
+    break;
+  default:
+    return false;
+  }
+  for (SortId Arg : Prim.ArgSorts) {
+    SortKind Kind = G.sorts().kind(Arg);
+    if (Kind == SortKind::User || Kind == SortKind::Set)
+      return false;
+  }
+  return true;
+}
+
+/// Stage-safety of one function-call target: the tail's fast path can only
+/// reproduce get-or-default bitwise when a miss mints (fresh id or unit)
+/// rather than evaluating a :default expression, and container-sort
+/// columns would need the (mutating) set interner to canonicalize at stage
+/// time.
+bool funcIsStageSafe(const EGraph &G, FunctionId Func) {
+  const FunctionInfo &Info = G.function(Func);
+  if (Info.Decl.DefaultExpr)
+    return false;
+  SortKind OutKind = G.sorts().kind(Info.Decl.OutSort);
+  if (OutKind != SortKind::User && OutKind != SortKind::Unit)
+    return false;
+  for (SortId Arg : Info.Decl.ArgSorts)
+    if (G.sorts().kind(Arg) == SortKind::Set)
+      return false;
+  return true;
+}
+
+bool exprIsStageSafe(const EGraph &G, const TypedExpr &Expr) {
+  switch (Expr.ExprKind) {
+  case TypedExpr::Kind::Var:
+  case TypedExpr::Kind::Lit:
+    return true;
+  case TypedExpr::Kind::PrimCall:
+    if (!primIsStageSafe(G, Expr.Index))
+      return false;
+    break;
+  case TypedExpr::Kind::FuncCall:
+    if (!funcIsStageSafe(G, Expr.Index))
+      return false;
+    break;
+  }
+  for (const TypedExpr &Arg : Expr.Args)
+    if (!exprIsStageSafe(G, Arg))
+      return false;
+  return true;
+}
+
+/// Per-chunk staging state: one frozen-database evaluator.
+class Stager {
+public:
+  Stager(const EGraph &G, const Rule &R, StagedChunk &Out)
+      : G(G), R(R), Out(Out) {}
+
+  /// Stages one match (environment already loaded). Emits ops up to the
+  /// first failing expression — the serial loop performs exactly the
+  /// mutations preceding a failure before abandoning the match.
+  void stageMatch() {
+    for (const Action &Act : R.Actions) {
+      switch (Act.ActKind) {
+      case Action::Kind::Let: {
+        Value Result;
+        if (!evalFrozen(Act.Expr, Result))
+          return;
+        assert(Act.Var < Env.size() && "let target out of range");
+        Env[Act.Var] = Result;
+        break;
+      }
+      case Action::Kind::Set: {
+        StagedOp Op;
+        Op.OpKind = StagedOp::Kind::Set;
+        Op.Func = Act.Func;
+        Op.NumKeys = static_cast<uint16_t>(Act.Args.size());
+        // Keys then out, raw (the tail takes the full setValue path, which
+        // canonicalizes exactly as the serial loop would at this point).
+        Scratch.clear();
+        for (const TypedExpr &Arg : Act.Args) {
+          Value V;
+          if (!evalFrozen(Arg, V))
+            return;
+          Scratch.push_back(V);
+        }
+        Value Result;
+        if (!evalFrozen(Act.Expr, Result))
+          return;
+        Op.ValsBegin = static_cast<uint32_t>(Out.Vals.size());
+        Out.Vals.insert(Out.Vals.end(), Scratch.begin(), Scratch.end());
+        Out.Vals.push_back(Result);
+        Out.Ops.push_back(Op);
+        break;
+      }
+      case Action::Kind::Union: {
+        StagedOp Op;
+        Op.OpKind = StagedOp::Kind::Union;
+        if (!evalFrozen(Act.Expr, Op.A) || !evalFrozen(Act.Expr2, Op.B))
+          return;
+        Out.Ops.push_back(Op);
+        break;
+      }
+      case Action::Kind::Eval: {
+        Value Ignored;
+        if (!evalFrozen(Act.Expr, Ignored))
+          return;
+        break;
+      }
+      case Action::Kind::Panic:
+      case Action::Kind::Delete:
+        assert(false && "unstageable action in a stage-safe rule");
+        return;
+      }
+    }
+  }
+
+  std::vector<Value> Env;
+
+private:
+  /// Frozen-database expression evaluation. Emits a Create op per function
+  /// call (the serial order of these ops is the serial order of the
+  /// get-or-default calls); primitives run eagerly — their arguments are
+  /// base values on deterministic dataflow, so the result at stage time is
+  /// bitwise the result at serial-apply time.
+  bool evalFrozen(const TypedExpr &Expr, Value &Val) {
+    switch (Expr.ExprKind) {
+    case TypedExpr::Kind::Var:
+      assert(Expr.Index < Env.size() && "unbound variable slot");
+      Val = Env[Expr.Index];
+      return true;
+    case TypedExpr::Kind::Lit:
+      Val = Expr.Literal;
+      return true;
+    case TypedExpr::Kind::PrimCall: {
+      size_t Base = EvalScratch.size();
+      EvalScratch.resize(Base + Expr.Args.size());
+      for (size_t I = 0; I < Expr.Args.size(); ++I) {
+        Value V;
+        if (!evalFrozen(Expr.Args[I], V)) {
+          EvalScratch.resize(Base);
+          return false;
+        }
+        EvalScratch[Base + I] = V;
+      }
+      // Safe from a read-only worker: the classifier guarantees this
+      // primitive neither interns nor canonicalizes (same contract as the
+      // read-only match phase's primitive evaluation in Query.cpp).
+      bool Ok = G.primitives().get(Expr.Index).Apply(
+          const_cast<EGraph &>(G), EvalScratch.data() + Base, Val);
+      EvalScratch.resize(Base);
+      return Ok;
+    }
+    case TypedExpr::Kind::FuncCall: {
+      size_t Base = EvalScratch.size();
+      EvalScratch.resize(Base + Expr.Args.size());
+      for (size_t I = 0; I < Expr.Args.size(); ++I) {
+        Value V;
+        if (!evalFrozen(Expr.Args[I], V)) {
+          EvalScratch.resize(Base);
+          return false;
+        }
+        EvalScratch[Base + I] = V;
+      }
+
+      const FunctionInfo &Info = G.function(Expr.Index);
+      const Table &T = *Info.Storage;
+      unsigned NumKeys = Info.numKeys();
+      assert(NumKeys == Expr.Args.size() && "arity mismatch");
+
+      StagedOp Op;
+      Op.OpKind = StagedOp::Kind::Create;
+      Op.Func = Expr.Index;
+      Op.NumKeys = static_cast<uint16_t>(NumKeys);
+      Op.ValsBegin = static_cast<uint32_t>(Out.Vals.size());
+      const Value *Keys = EvalScratch.data() + Base;
+      bool HasPlaceholder = false;
+      for (unsigned I = 0; I < NumKeys; ++I)
+        if (isPlaceholder(G.sorts(), Keys[I]))
+          HasPlaceholder = true;
+      if (HasPlaceholder) {
+        // Raw keys; the tail resolves and takes the full path.
+        Op.PlaceholderKeys = true;
+        Out.Vals.insert(Out.Vals.end(), Keys, Keys + NumKeys);
+      } else {
+        // Frozen-canonical keys + probe. findReadOnly never writes, so any
+        // number of staging workers may share the union-find.
+        for (unsigned I = 0; I < NumKeys; ++I) {
+          Value K = Keys[I];
+          if (G.sorts().kind(K.Sort) == SortKind::User)
+            K = Value(K.Sort, G.unionFind().findReadOnly(K.Bits));
+          Out.Vals.push_back(K);
+        }
+        int64_t Row = T.findRow(Out.Vals.data() + Op.ValsBegin);
+        if (Row >= 0) {
+          Op.Hit = true;
+          Op.Row = static_cast<uint32_t>(Row);
+        }
+      }
+      EvalScratch.resize(Base);
+
+      // The result is always bound by the tail — even a frozen hit's row
+      // can die before the tail reaches this op — except for Unit outputs,
+      // whose value is known without consulting the database.
+      if (G.sorts().kind(Info.Decl.OutSort) == SortKind::Unit) {
+        Val = G.mkUnit();
+      } else {
+        Op.Result = Out.NumPlaceholders++;
+        Val = Value(Info.Decl.OutSort, StagedPlaceholderBit | Op.Result);
+      }
+      Out.Ops.push_back(Op);
+      return true;
+    }
+    }
+    return false;
+  }
+
+  const EGraph &G;
+  const Rule &R;
+  StagedChunk &Out;
+  std::vector<Value> Scratch;
+  std::vector<Value> EvalScratch;
+};
+
+} // namespace
+
+bool egglog::actionsAreStageSafe(const EGraph &G, const Rule &R) {
+  for (const Action &Act : R.Actions) {
+    switch (Act.ActKind) {
+    case Action::Kind::Let:
+    case Action::Kind::Eval:
+      if (!exprIsStageSafe(G, Act.Expr))
+        return false;
+      break;
+    case Action::Kind::Set: {
+      for (const TypedExpr &Arg : Act.Args)
+        if (!exprIsStageSafe(G, Arg))
+          return false;
+      if (!exprIsStageSafe(G, Act.Expr))
+        return false;
+      // Container-sort keys or outputs would need the set interner at
+      // resolution time validation; route those rules to the classic loop.
+      for (const TypedExpr &Arg : Act.Args)
+        if (G.sorts().kind(Arg.Type) == SortKind::Set)
+          return false;
+      if (G.sorts().kind(Act.Expr.Type) == SortKind::Set)
+        return false;
+      break;
+    }
+    case Action::Kind::Union:
+      if (!exprIsStageSafe(G, Act.Expr) || !exprIsStageSafe(G, Act.Expr2))
+        return false;
+      break;
+    case Action::Kind::Panic:
+    case Action::Kind::Delete:
+      // Panic aborts the run (order-sensitive against every other chunk);
+      // Delete kills rows, which would invalidate sibling workers' frozen
+      // probes in ways the dirty-cursor cannot see.
+      return false;
+    }
+  }
+  return true;
+}
+
+bool egglog::stageChunkActions(const EGraph &G, const Rule &R,
+                               const Value *Arena, size_t Count,
+                               StagedChunk &Out,
+                               const std::function<bool()> *Cancel) {
+  Out.clear();
+  Stager S(G, R, Out);
+  size_t Stride = R.Body.NumVars;
+  for (size_t M = 0; M < Count; ++M) {
+    if (Cancel && (*Cancel)())
+      return false;
+    Out.Ops.push_back(StagedOp{}); // MatchBegin
+    const Value *Match = Arena + M * Stride;
+    S.Env.assign(Match, Match + Stride);
+    S.Env.resize(R.NumSlots);
+    S.stageMatch();
+  }
+  return true;
+}
+
+bool egglog::drainStagedChunk(EGraph &G, const StagedChunk &Chunk,
+                              PhaseDirty &Dirty,
+                              std::vector<Value> &Resolved,
+                              std::vector<Value> &Scratch) {
+  Resolved.resize(Chunk.NumPlaceholders);
+  const SortTable &Sorts = G.sorts();
+  auto Resolve = [&](Value V) {
+    if (isPlaceholder(Sorts, V)) {
+      assert((V.Bits & ~StagedPlaceholderBit) < Resolved.size());
+      return Resolved[V.Bits & ~StagedPlaceholderBit];
+    }
+    return V;
+  };
+
+  bool SkipMatch = false;
+  for (const StagedOp &Op : Chunk.Ops) {
+    if (Op.OpKind == StagedOp::Kind::MatchBegin) {
+      SkipMatch = false;
+      // The classic loop checkpoints once per match before its actions.
+      if (!G.governorCheckpoint("apply.match"))
+        return false;
+      continue;
+    }
+    if (SkipMatch)
+      continue;
+
+    switch (Op.OpKind) {
+    case StagedOp::Kind::Create: {
+      const Value *Keys = Chunk.Vals.data() + Op.ValsBegin;
+      Dirty.absorb();
+      bool Fast = !Op.PlaceholderKeys;
+      if (Fast)
+        for (unsigned I = 0; I < Op.NumKeys && Fast; ++I)
+          if (Sorts.kind(Keys[I].Sort) == SortKind::User &&
+              Dirty.dirty(Keys[I].Bits))
+            Fast = false;
+
+      Value Bound;
+      if (Fast) {
+        // The frozen-canonical keys are still canonical: no key lost a
+        // unite since the freeze. The probe verdict, however, may be stale
+        // against earlier tail mutations, so hits require the row to still
+        // be live and misses re-probe.
+        const FunctionInfo &Info = G.function(Op.Func);
+        Table &T = *Info.Storage;
+        if (Op.Hit && T.isLive(Op.Row)) {
+          // Key cells are immutable and the functional index maps these
+          // keys to exactly one live row, so this is the row the serial
+          // lookup would return — and get-or-default returns the stored
+          // output uncanonicalized.
+          Bound = T.output(Op.Row);
+        } else if (std::optional<Value> Existing = T.lookup(Keys)) {
+          Bound = *Existing;
+        } else {
+          // Genuine miss at the serial position: mint here, in op order,
+          // so fresh-id numbering is bit-identical to the serial loop.
+          SortId OutSort = Info.Decl.OutSort;
+          Bound = Sorts.isIdSort(OutSort) ? G.freshId(OutSort) : G.mkUnit();
+          T.insert(Keys, Bound, G.timestamp());
+        }
+      } else {
+        Scratch.clear();
+        for (unsigned I = 0; I < Op.NumKeys; ++I)
+          Scratch.push_back(Resolve(Keys[I]));
+        // Full get-or-default with bitwise-serial arguments (resolved
+        // placeholders are the very values the serial loop computed, and
+        // canonicalizing a frozen-canonical key equals canonicalizing the
+        // original). Cannot fail for a stage-safe function (no :default,
+        // User/Unit output), but mirror the serial loop defensively.
+        if (!G.getOrCreate(Op.Func, Scratch.data(), Bound)) {
+          if (G.failed())
+            return false;
+          G.clearError();
+          SkipMatch = true;
+          continue;
+        }
+      }
+      if (Op.Result != UINT32_MAX)
+        Resolved[Op.Result] = Bound;
+      break;
+    }
+    case StagedOp::Kind::Union:
+      G.unionValues(Resolve(Op.A), Resolve(Op.B));
+      break;
+    case StagedOp::Kind::Set: {
+      const Value *Vals = Chunk.Vals.data() + Op.ValsBegin;
+      Scratch.clear();
+      for (unsigned I = 0; I < Op.NumKeys + 1u; ++I)
+        Scratch.push_back(Resolve(Vals[I]));
+      if (!G.setValue(Op.Func, Scratch.data(), Scratch[Op.NumKeys])) {
+        // Exactly the classic loop's failure handling: hard errors abort
+        // the run; a soft failure (e.g. a primitive failing inside a merge
+        // expression) abandons only this match.
+        if (G.failed())
+          return false;
+        G.clearError();
+        SkipMatch = true;
+      }
+      break;
+    }
+    case StagedOp::Kind::MatchBegin:
+      break; // handled above
+    }
+  }
+  return true;
+}

@@ -1,0 +1,161 @@
+//===- core/ApplyStage.h - Parallel apply staging --------------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel half of the apply phase (DESIGN.md "Match/apply phase
+/// separation"). The engine's matches must be applied in a deterministic
+/// (rule, variant, match) order — fresh ids and liveContentHash depend on
+/// it bit-for-bit — so the database mutations themselves cannot fan out.
+/// What can fan out is everything *before* the mutation: walking the
+/// action list per match, evaluating primitive computations, and probing
+/// the (frozen) tables for the get-or-default hits that dominate apply
+/// cost on merge-heavy workloads.
+///
+/// Staging runs strictly read-only against the frozen database and emits a
+/// flat op list per match chunk; results of function calls are represented
+/// by per-chunk placeholder values bound later. A serial tail then drains
+/// the chunks in the same (rule, variant, match) order the classic loop
+/// uses, owning every fresh-id mint, union, and table write — and
+/// validating each staged probe against the unions performed since the
+/// freeze before trusting it. Invalidated or unstageable work falls back
+/// to the exact serial code path, so any thread count is bit-identical to
+/// threads=1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_CORE_APPLYSTAGE_H
+#define EGGLOG_CORE_APPLYSTAGE_H
+
+#include "core/Ast.h"
+#include "core/UnionFind.h"
+#include "core/Value.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace egglog {
+
+class EGraph;
+
+/// Placeholder bit: a staged User-sort value with this bit set is not a
+/// real id but an index into the chunk's resolution table (bound by the
+/// serial tail when the corresponding Create op executes). Real ids are
+/// dense union-find indexes and never approach 2^63.
+constexpr uint64_t StagedPlaceholderBit = 1ull << 63;
+
+/// One staged unit of serial-tail work, in exact serial action order.
+struct StagedOp {
+  enum class Kind : uint8_t {
+    /// Match boundary: reset skip state and run the per-match governor
+    /// checkpoint, exactly where the classic loop runs it.
+    MatchBegin,
+    /// A get-or-default (function call in action position): NumKeys keys
+    /// starting at ValsBegin, result bound to placeholder Result.
+    Create,
+    /// (union A B).
+    Union,
+    /// (set (f keys...) out): NumKeys keys then the out value at ValsBegin.
+    Set,
+  };
+  Kind OpKind = Kind::MatchBegin;
+  /// Create only: the frozen probe found a live row (valid only when
+  /// !PlaceholderKeys; the keys at ValsBegin are then frozen-canonical).
+  bool Hit = false;
+  /// Create only: some key is a placeholder; keys are stored raw and the
+  /// tail must take the full get-or-default path.
+  bool PlaceholderKeys = false;
+  FunctionId Func = 0;
+  /// Create hit: the frozen row whose output to bind if it is still live.
+  uint32_t Row = 0;
+  /// Create: placeholder index the result binds; UINT32_MAX for Unit
+  /// outputs (the staged value is already the concrete unit).
+  uint32_t Result = UINT32_MAX;
+  /// First value of this op's payload in StagedChunk::Vals.
+  uint32_t ValsBegin = 0;
+  uint16_t NumKeys = 0;
+  /// Union operands (possibly placeholders).
+  Value A, B;
+};
+
+/// The staged form of one match chunk.
+struct StagedChunk {
+  std::vector<StagedOp> Ops;
+  /// Flat payload pool (keys and set outputs), indexed by ValsBegin.
+  std::vector<Value> Vals;
+  uint32_t NumPlaceholders = 0;
+
+  void clear() {
+    Ops.clear();
+    Vals.clear();
+    NumPlaceholders = 0;
+  }
+};
+
+/// True if \p R's actions can be staged: every action is a Let/Set/Union/
+/// Eval whose expressions touch only stage-safe primitives (base-sort
+/// signatures, as in the read-only match classifier) and stage-safe
+/// function calls (User or Unit output, no :default expression, no
+/// container-sort columns). Rules failing this run through the classic
+/// serial apply loop at their chunk's position.
+bool actionsAreStageSafe(const EGraph &G, const Rule &R);
+
+/// Stages every match of a chunk against the frozen database. Strictly
+/// read-only. \p Arena holds Count matches of R.Body.NumVars values each.
+/// \p Cancel (optional) is polled once per match; returning true abandons
+/// staging. Returns true if the whole chunk was staged (the tail may drain
+/// it), false if cancelled (the tail must run the classic loop instead).
+bool stageChunkActions(const EGraph &G, const Rule &R, const Value *Arena,
+                       size_t Count, StagedChunk &Out,
+                       const std::function<bool()> *Cancel);
+
+/// Tracks which frozen-canonical ids have lost canonicality since a phase
+/// freeze, by keeping a cursor into the union-find's pending dirty list: a
+/// root only stops being canonical by losing a unite(), which appends it
+/// there exactly once. Ids created after the freeze are conservatively
+/// dirty (the bitmap cannot cover them).
+class PhaseDirty {
+public:
+  explicit PhaseDirty(const UnionFind &UF)
+      : UF(UF), FrozenSize(UF.size()), Cursor(UF.pendingDirty().size()),
+        Bitmap(FrozenSize, false) {}
+
+  /// Folds the dirty-list suffix accumulated since the last call into the
+  /// bitmap. Call before any dirty() query that must reflect the unions
+  /// performed so far.
+  void absorb() {
+    const std::vector<uint64_t> &Pending = UF.pendingDirty();
+    for (; Cursor < Pending.size(); ++Cursor)
+      if (Pending[Cursor] < FrozenSize)
+        Bitmap[Pending[Cursor]] = true;
+  }
+
+  /// True if \p Id may no longer be canonical (it lost a unite since the
+  /// freeze, or postdates it).
+  bool dirty(uint64_t Id) const { return Id >= FrozenSize || Bitmap[Id]; }
+
+private:
+  const UnionFind &UF;
+  size_t FrozenSize;
+  size_t Cursor;
+  std::vector<bool> Bitmap;
+};
+
+/// Drains one staged chunk in serial order, performing the exact database
+/// mutations the classic loop would: validated frozen hits bind without a
+/// probe, validated misses re-probe and mint fresh ids in serial order,
+/// and anything invalidated takes the full get-or-default / set path with
+/// bitwise-identical arguments. \p Resolved and \p Scratch are reusable
+/// buffers. Returns false when the run must stop (governor checkpoint
+/// refused or a hard error is pending) — mirroring the classic loop's
+/// early returns.
+bool drainStagedChunk(EGraph &G, const StagedChunk &Chunk, PhaseDirty &Dirty,
+                      std::vector<Value> &Resolved,
+                      std::vector<Value> &Scratch);
+
+} // namespace egglog
+
+#endif // EGGLOG_CORE_APPLYSTAGE_H

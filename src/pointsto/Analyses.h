@@ -63,8 +63,13 @@ struct AnalysisResult {
   double SearchSeconds = 0;
   /// Seconds spent in the engine's apply phase (egglog systems only).
   double ApplySeconds = 0;
+  /// Read-only staging share of ApplySeconds (multi-threaded runs only).
+  double ApplyStageSeconds = 0;
   /// Seconds spent in the engine's rebuild phase (egglog systems only).
   double RebuildSeconds = 0;
+  /// Read-only catch-up/gather share of RebuildSeconds (multi-threaded
+  /// runs only).
+  double RebuildGatherSeconds = 0;
   /// For each allocation id (base + field), the smallest allocation id it
   /// is equivalent to.
   std::vector<uint32_t> AllocClass;

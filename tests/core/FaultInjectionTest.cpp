@@ -98,9 +98,12 @@ std::vector<std::string> mathScript() {
 /// every command (dense for the first hits, then geometrically spaced).
 /// After each injected fault the state must equal the pre-command
 /// baseline; the surviving clean executions must land on the same final
-/// state as \p a reference run that never faulted.
+/// state as \p a reference run that never faulted. \p Site narrows the
+/// sweep to one failpoint (nullptr = every site); \p MinFaults asserts the
+/// sweep reached real intermediate states and not just clean runs.
 void sweepScript(const std::vector<std::string> &Commands,
-                 const std::string &ProbeExpr, unsigned Threads) {
+                 const std::string &ProbeExpr, unsigned Threads,
+                 const char *Site = nullptr, size_t MinFaults = 10) {
   DisarmGuard Guard;
 
   auto Configure = [&](Frontend &F) {
@@ -132,7 +135,7 @@ void sweepScript(const std::vector<std::string> &Commands,
     for (unsigned Attempt = 1;; ++Attempt) {
       // After enough attempts, run clean (FireAtHit = 0 only counts) so a
       // hit-heavy command like (run 3) cannot stall the sweep.
-      failpoints::arm(nullptr, Attempt > 48 ? 0 : K);
+      failpoints::arm(Site, Attempt > 48 ? 0 : K);
       bool Ok = F.execute(C);
       failpoints::disarm();
       if (Ok)
@@ -154,7 +157,7 @@ void sweepScript(const std::vector<std::string> &Commands,
   EXPECT_EQ(fingerprint(F), FinalFP);
   EXPECT_EQ(F.outputs(), Clean.outputs());
   // The sweep exercised real intermediate states.
-  EXPECT_GT(FaultsInjected, 10u);
+  EXPECT_GT(FaultsInjected, MinFaults);
 }
 
 } // namespace
@@ -165,6 +168,39 @@ TEST(FaultInjectionTest, MathScriptSweepSerial) {
 
 TEST(FaultInjectionTest, MathScriptSweepFourThreads) {
   sweepScript(mathScript(), "e", /*Threads=*/4);
+}
+
+TEST(FaultInjectionTest, ApplyPartitionSweepFourThreads) {
+  // Faults inside the parallel apply-staging loop: the stage is read-only
+  // and the pool defers the exception until the job drains, so rollback
+  // must be exact no matter which staged chunk the fault lands in.
+  sweepScript(mathScript(), "e", /*Threads=*/4, "apply.partition",
+              /*MinFaults=*/0);
+}
+
+TEST(FaultInjectionTest, RebuildOccurrenceSweepFourThreads) {
+  // Faults inside the parallel rebuild loops (occurrence catch-up and the
+  // frozen-image gather). Catch-up mutates the occurrence indexes, so
+  // this additionally proves a partially caught-up index rolls back
+  // cleanly with the transaction.
+  sweepScript(mathScript(), "e", /*Threads=*/4, "rebuild.occurrence",
+              /*MinFaults=*/0);
+}
+
+TEST(FaultInjectionTest, ParallelLoopSitesAreUnreachableSerial) {
+  // At 1 thread the engine takes the classic code paths; the failpoints
+  // that live inside the parallel loops must never be hit (the serial
+  // sweeps above would otherwise be quietly probing parallel states).
+  DisarmGuard Guard;
+  for (const char *Site : {"apply.partition", "rebuild.occurrence"}) {
+    Frontend F;
+    F.engine().setThreads(1);
+    failpoints::arm(Site, 0);
+    for (const std::string &C : mathScript())
+      ASSERT_TRUE(F.execute(C)) << C << ": " << F.error();
+    EXPECT_EQ(failpoints::hits(), 0u) << Site << " hit on the serial path";
+    failpoints::disarm();
+  }
 }
 
 TEST(FaultInjectionTest, FirstHitIsTheCommandEntry) {

@@ -57,16 +57,25 @@ struct TestEngine {
   Frontend F;
   size_t Depth = 0;
 
-  explicit TestEngine(unsigned Threads) {
+  TestEngine(unsigned Threads, bool UseBackoff) {
     EXPECT_TRUE(F.execute(DeterminismProgram)) << F.error();
     F.engine().setThreads(Threads);
+    if (UseBackoff) {
+      F.runOptions().UseBackoff = true;
+      F.runOptions().BackoffMatchLimit = 200;
+    }
   }
 };
 
 class DeterminismDriver {
 public:
+  /// Odd seeds run with the BackOff scheduler enabled (low match limit),
+  /// so the randomized scripts also exercise cross-thread agreement of
+  /// the ban trajectories, not just the database content.
   explicit DeterminismDriver(uint32_t Seed)
-      : Engines{TestEngine(1), TestEngine(2), TestEngine(8)}, Rng(Seed) {}
+      : Engines{TestEngine(1, Seed & 1), TestEngine(2, Seed & 1),
+                TestEngine(8, Seed & 1)},
+        Rng(Seed) {}
 
   void run(unsigned Steps) {
     for (unsigned Step = 0; Step < Steps; ++Step) {
@@ -160,6 +169,29 @@ private:
       ASSERT_EQ(Base.liveContentHash(), Other.liveContentHash())
           << "content diverged at " << Engines[E].F.engine().threads()
           << " threads";
+      // liveContentHash folds in raw id bits, but also pin the fresh-id
+      // numbering down directly: the union-find must have minted exactly
+      // the same number of ids in the same order.
+      ASSERT_EQ(Base.unionFind().size(), Other.unionFind().size())
+          << "fresh-id numbering diverged at "
+          << Engines[E].F.engine().threads() << " threads";
+      // The scheduler trajectory (delta frontiers, BackOff bans) must
+      // track bit-for-bit too — a dropped or extra ban would only skew
+      // the database several runs later.
+      Engine::Snapshot S0 = Engines[0].F.engine().snapshot();
+      Engine::Snapshot SE = Engines[E].F.engine().snapshot();
+      ASSERT_EQ(S0.States.size(), SE.States.size());
+      for (size_t R = 0; R < S0.States.size(); ++R) {
+        ASSERT_EQ(S0.States[R].DeltaStart, SE.States[R].DeltaStart)
+            << "delta frontier of rule " << R << " diverged at "
+            << Engines[E].F.engine().threads() << " threads";
+        ASSERT_EQ(S0.States[R].BannedUntil, SE.States[R].BannedUntil)
+            << "ban span of rule " << R << " diverged at "
+            << Engines[E].F.engine().threads() << " threads";
+        ASSERT_EQ(S0.States[R].TimesBanned, SE.States[R].TimesBanned)
+            << "ban count of rule " << R << " diverged at "
+            << Engines[E].F.engine().threads() << " threads";
+      }
     }
   }
 
@@ -181,7 +213,7 @@ private:
 };
 
 TEST(PhaseDeterminismTest, DifferentialRandomSequences) {
-  for (uint32_t Seed : {3u, 17u, 2026u}) {
+  for (uint32_t Seed : {3u, 17u, 99u, 512u, 2026u}) {
     DeterminismDriver Driver(Seed);
     Driver.run(120);
     if (::testing::Test::HasFatalFailure())
@@ -380,7 +412,47 @@ TEST(ThreadPoolTest, SingleThreadRunsInline) {
     EXPECT_EQ(Order[I], I); // inline mode preserves index order
 }
 
+TEST(ThreadPoolTest, TracksItemTalliesPerTag) {
+  ThreadPool Pool(4);
+  Pool.parallelFor(10, [](size_t) {}, "alpha");
+  Pool.parallelFor(5, [](size_t) {}, "beta");
+  Pool.parallelFor(7, [](size_t) {}, "alpha");
+  Pool.parallelFor(9, [](size_t) {}); // untagged jobs are not tallied
+  EXPECT_EQ(Pool.itemsForTag("alpha"), 17u);
+  EXPECT_EQ(Pool.itemsForTag("beta"), 5u);
+  EXPECT_EQ(Pool.itemsForTag("gamma"), 0u);
+  // The inline path (1 worker or 1 item) tallies too.
+  ThreadPool Inline(1);
+  Inline.parallelFor(3, [](size_t) {}, "alpha");
+  EXPECT_EQ(Inline.itemsForTag("alpha"), 3u);
+  Pool.parallelFor(1, [](size_t) {}, "beta");
+  EXPECT_EQ(Pool.itemsForTag("beta"), 6u);
+}
+
 #if EGGLOG_FAILPOINTS_ENABLED
+
+TEST(PhaseDeterminismTest, ParallelApplyAndRebuildPhasesEngage) {
+  // Guard against silent fallback: the determinism tests above would pass
+  // even if staging/gathering never ran (the classic loops are always
+  // correct). Count the failpoint sites inside the parallel loops —
+  // arm(site, 0) tallies hits without ever firing — to prove a 4-thread
+  // run actually stages apply work and gathers rebuild work.
+  struct Disarm {
+    ~Disarm() { failpoints::disarm(); }
+  } Guard;
+  Frontend F;
+  ASSERT_TRUE(F.execute(DeterminismProgram)) << F.error();
+  ASSERT_TRUE(F.execute("(edge 0 1) (edge 1 2) (edge 2 3) (edge 3 0)"))
+      << F.error();
+  F.engine().setThreads(4);
+  failpoints::arm("apply.partition", 0);
+  ASSERT_TRUE(F.execute("(run 3)")) << F.error();
+  EXPECT_GT(failpoints::hits(), 0u) << "no apply chunk was ever staged";
+  failpoints::arm("rebuild.occurrence", 0);
+  ASSERT_TRUE(F.execute("(union (Leaf 100) (Leaf 101)) (run 1)"))
+      << F.error();
+  EXPECT_GT(failpoints::hits(), 0u) << "no parallel rebuild pass ran";
+}
 
 TEST(PhaseDeterminismTest, InjectedFaultMidRunRollsBackAtFourThreads) {
   // A fault injected anywhere inside a 4-thread (run) — match steps,
