@@ -1,0 +1,225 @@
+//===- bench/bench_snapshot.cpp - Snapshot persistence benchmark ----------===//
+//
+// Part of egglog-cpp. Measures the versioned snapshot subsystem on the
+// Steensgaard points-to workload (the Fig. 8 native egglog encoding):
+//
+//   rerun_s   — cold start: load facts and saturate from scratch,
+//   save_s    — serialize + crc + atomic-rename the saturated database,
+//   bytes     — on-disk snapshot size,
+//   load_s    — validate + stage + install into a fresh database,
+//   warm_s    — re-declare the rules over the loaded copy and re-run
+//               (semi-naive finds nothing new),
+//   speedup   — rerun_s / (load_s + warm_s), the warm-start win.
+//
+// The warm-started database must reproduce the cold run's liveContentHash
+// exactly; the benchmark fails loudly otherwise.
+//
+// Usage: bench_snapshot [scale] [threads]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Frontend.h"
+#include "core/Snapshot.h"
+#include "pointsto/ProgramGenerator.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace egglog;
+using namespace egglog::pointsto;
+
+namespace {
+
+/// The Fig. 8 native encoding, split so the rules can be re-declared over
+/// a loaded snapshot (declarations travel with the snapshot, rules are
+/// engine state and do not).
+const char *PointsToSchema = R"(
+  (sort Obj)
+  (relation allocR (i64 i64))
+  (relation copyR (i64 i64))
+  (relation loadR (i64 i64))
+  (relation storeR (i64 i64))
+  (relation gepR (i64 i64 i64))
+  (relation fieldAllocR (i64 i64 i64))
+  (function objOf (i64) Obj)
+  (function vpt (i64) Obj)
+  (function contents (Obj) Obj)
+)";
+
+const char *PointsToRules = R"(
+  (rule ((allocR v a)) ((union (vpt v) (objOf a))))
+  (rule ((copyR d s)) ((union (vpt d) (vpt s))))
+  (rule ((loadR d s)) ((union (vpt d) (contents (vpt s)))))
+  (rule ((storeR d s)) ((union (contents (vpt d)) (vpt s))))
+  (rule ((gepR d b f) (fieldAllocR a f fa) (= (vpt b) (objOf a)))
+        ((union (vpt d) (objOf fa))))
+  (rule ((fieldAllocR a f fa) (fieldAllocR b f fb)
+         (= (objOf a) (objOf b)))
+        ((union (objOf fa) (objOf fb))))
+)";
+
+void loadFacts(Frontend &F, const Program &P) {
+  EGraph &G = F.graph();
+  auto Fid = [&](const char *Name) {
+    FunctionId Id = 0;
+    if (!G.lookupFunctionName(Name, Id)) {
+      std::fprintf(stderr, "bench_snapshot: missing function %s\n", Name);
+      std::exit(3);
+    }
+    return Id;
+  };
+  FunctionId AllocR = Fid("allocR"), CopyR = Fid("copyR"),
+             LoadR = Fid("loadR"), StoreR = Fid("storeR"),
+             GepR = Fid("gepR"), FieldAllocR = Fid("fieldAllocR");
+  auto Fact2 = [&](FunctionId Rel, uint32_t A, uint32_t B) {
+    Value Keys[2] = {G.mkI64(A), G.mkI64(B)};
+    G.setValue(Rel, Keys, G.mkUnit());
+  };
+  for (auto [V, A] : P.Allocs)
+    Fact2(AllocR, V, A);
+  for (auto [D, S] : P.Copies)
+    Fact2(CopyR, D, S);
+  for (auto [D, S] : P.Loads)
+    Fact2(LoadR, D, S);
+  for (auto [D, S] : P.Stores)
+    Fact2(StoreR, D, S);
+  for (auto [D, B, Fld] : P.Geps) {
+    Value Keys[3] = {G.mkI64(D), G.mkI64(B), G.mkI64(Fld)};
+    G.setValue(GepR, Keys, G.mkUnit());
+  }
+  for (uint32_t A = 0; A < P.NumBaseAllocs; ++A)
+    for (uint32_t Fld = 0; Fld < P.NumFields; ++Fld) {
+      Value Keys[3] = {G.mkI64(A), G.mkI64(Fld),
+                       G.mkI64(P.fieldAlloc(A, Fld))};
+      G.setValue(FieldAllocR, Keys, G.mkUnit());
+    }
+}
+
+void saturate(Frontend &F) {
+  if (!F.execute("(run 1000000)")) {
+    std::fprintf(stderr, "bench_snapshot: run failed: %s\n",
+                 F.error().c_str());
+    std::exit(3);
+  }
+}
+
+/// Cold start: schema + rules + facts + saturation.
+double coldRun(const Program &P, unsigned Threads, uint64_t &HashOut) {
+  Frontend F;
+  F.engine().setThreads(Threads);
+  if (!F.execute(PointsToSchema) || !F.execute(PointsToRules)) {
+    std::fprintf(stderr, "bench_snapshot: setup failed: %s\n",
+                 F.error().c_str());
+    std::exit(3);
+  }
+  Timer Clock;
+  loadFacts(F, P);
+  saturate(F);
+  double Seconds = Clock.seconds();
+  HashOut = F.graph().liveContentHash();
+  return Seconds;
+}
+
+size_t fileBytes(const std::string &Path) {
+  std::ifstream Stream(Path, std::ios::binary | std::ios::ate);
+  return Stream.is_open() ? static_cast<size_t>(Stream.tellg()) : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  double Scale = argc > 1 ? std::atof(argv[1]) : 0.3;
+  int ThreadsArg = argc > 2 ? std::atoi(argv[2]) : 1;
+  unsigned Threads = ThreadsArg < 1 ? 1u : static_cast<unsigned>(ThreadsArg);
+  const std::string Path = "bench_snapshot.snap";
+
+  // The largest program of the scaled suite keeps the numbers meaningful
+  // without regenerating all thirty.
+  std::vector<Program> Suite = postgresSuite(Scale);
+  const Program *P = &Suite.front();
+  for (const Program &Candidate : Suite)
+    if (Candidate.numInstructions() > P->numInstructions())
+      P = &Candidate;
+
+  std::printf("=== snapshot persistence (program %s, %zu insns, %u "
+              "thread%s) ===\n",
+              P->Name.c_str(), P->numInstructions(), Threads,
+              Threads == 1 ? "" : "s");
+
+  // Baseline saturated database, then serialize it.
+  Frontend F;
+  F.engine().setThreads(Threads);
+  if (!F.execute(PointsToSchema) || !F.execute(PointsToRules)) {
+    std::fprintf(stderr, "bench_snapshot: setup failed: %s\n",
+                 F.error().c_str());
+    return 3;
+  }
+  loadFacts(F, *P);
+  saturate(F);
+  uint64_t BaselineHash = F.graph().liveContentHash();
+
+  Timer SaveClock;
+  EggError Err;
+  if (!saveSnapshot(F.graph(), Path, Err)) {
+    std::fprintf(stderr, "bench_snapshot: save failed: %s\n",
+                 Err.Message.c_str());
+    return 3;
+  }
+  double SaveS = SaveClock.seconds();
+  size_t Bytes = fileBytes(Path);
+
+  // Cold re-run: the cost a warm start avoids.
+  uint64_t RerunHash = 0;
+  double RerunS = coldRun(*P, Threads, RerunHash);
+  if (RerunHash != BaselineHash) {
+    std::fprintf(stderr, "bench_snapshot: cold re-run diverged\n");
+    return 3;
+  }
+
+  // Warm start: load, re-declare rules, re-run to saturation (semi-naive
+  // over an already-saturated database finds nothing).
+  Frontend Warm;
+  Warm.engine().setThreads(Threads);
+  Timer LoadClock;
+  if (!loadSnapshot(Warm.graph(), Path, Err)) {
+    std::fprintf(stderr, "bench_snapshot: load failed: %s\n",
+                 Err.Message.c_str());
+    return 3;
+  }
+  Warm.engine().noteExternalMutation();
+  double LoadS = LoadClock.seconds();
+  Timer WarmClock;
+  if (!Warm.execute(PointsToRules)) {
+    std::fprintf(stderr, "bench_snapshot: warm rules failed: %s\n",
+                 Warm.error().c_str());
+    return 3;
+  }
+  saturate(Warm);
+  double WarmS = WarmClock.seconds();
+  if (Warm.graph().liveContentHash() != BaselineHash) {
+    std::fprintf(stderr, "bench_snapshot: warm start diverged\n");
+    return 3;
+  }
+
+  std::remove(Path.c_str());
+
+  double Speedup = (LoadS + WarmS) > 0 ? RerunS / (LoadS + WarmS) : 0;
+  std::printf("  cold re-run %9.6fs\n", RerunS);
+  std::printf("  save        %9.6fs  (%zu bytes)\n", SaveS, Bytes);
+  std::printf("  load        %9.6fs\n", LoadS);
+  std::printf("  warm re-run %9.6fs\n", WarmS);
+  std::printf("  warm-start speedup %.2fx\n", Speedup);
+
+  // Machine-readable trajectory record (one JSON object per line).
+  std::printf("{\"bench\": \"snapshot\", \"program\": \"%s\", "
+              "\"threads\": %u, \"bytes\": %zu, \"save_s\": %.6f, "
+              "\"load_s\": %.6f, \"warm_s\": %.6f, \"rerun_s\": %.6f, "
+              "\"speedup\": %.6f}\n",
+              P->Name.c_str(), Threads, Bytes, SaveS, LoadS, WarmS, RerunS,
+              Speedup);
+  return 0;
+}

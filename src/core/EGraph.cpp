@@ -148,6 +148,12 @@ Value EGraph::mkSet(SortId SetSort, std::vector<Value> Elements) {
   return Value(SetSort, Sets.intern(Elements));
 }
 
+uint32_t EGraph::internSetElements(std::vector<Value> Elements) {
+  assert(std::is_sorted(Elements.begin(), Elements.end()) &&
+         "raw set elements must be pre-sorted");
+  return Sets.intern(Elements);
+}
+
 const std::vector<Value> &EGraph::valueToSet(Value V) const {
   return Sets.lookup(static_cast<uint32_t>(V.Bits));
 }
@@ -966,6 +972,25 @@ EGraph::TxnMark EGraph::txnBegin() {
   M.Timestamp = Timestamp;
   M.UnionsDirty = UnionsDirty;
   return M;
+}
+
+void EGraph::adoptContent(std::vector<std::unique_ptr<Table>> NewTables,
+                          std::vector<uint64_t> UFParents,
+                          std::vector<uint64_t> UFDirty, uint64_t UnionCount,
+                          uint32_t NewTimestamp,
+                          bool NewUnionsDirty) noexcept {
+  assert(NewTables.size() == Functions.size() &&
+         "adoptContent needs one staged table per declared function");
+  for (size_t F = 0; F < Functions.size(); ++F)
+    Functions[F]->Storage = std::move(NewTables[F]);
+  UF.adopt(std::move(UFParents), std::move(UFDirty), UnionCount);
+  Timestamp = NewTimestamp;
+  UnionsDirty = NewUnionsDirty;
+  // The staged tables carry none of the old tables' index or extraction
+  // state; consumers rebuild from scratch against the adopted content.
+  if (ExtractIdx)
+    ExtractIdx->invalidate();
+  clearError();
 }
 
 void EGraph::txnCommit() {

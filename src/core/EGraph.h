@@ -97,6 +97,13 @@ public:
   PrimitiveRegistry &primitives() { return Prims; }
   const PrimitiveRegistry &primitives() const { return Prims; }
   StringInterner &strings() { return Strings; }
+  const StringInterner &strings() const { return Strings; }
+  const ValueInterner<Rational, RationalStdHash> &rationals() const {
+    return Rationals;
+  }
+  const ValueInterner<std::vector<Value>, ValueVecHash> &sets() const {
+    return Sets;
+  }
 
   //===--------------------------------------------------------------------===
   // Sorts and functions
@@ -131,6 +138,13 @@ public:
   Value mkRational(const Rational &R);
   /// Interns a set value (elements are canonicalized, sorted, deduped).
   Value mkSet(SortId SetSort, std::vector<Value> Elements);
+
+  /// Interns a set element vector that is already sorted and deduped,
+  /// without canonicalizing it, and returns the interned id. The snapshot
+  /// loader stages element vectors under the snapshot's own (possibly
+  /// stale) equivalence relation and must intern them verbatim so staged
+  /// cell ids stay meaningful; everything else should use mkSet.
+  uint32_t internSetElements(std::vector<Value> Elements);
 
   int64_t valueToI64(Value V) const { return static_cast<int64_t>(V.Bits); }
   double valueToF64(Value V) const;
@@ -318,6 +332,19 @@ public:
     uint32_t Timestamp = 0;
     bool UnionsDirty = false;
   };
+
+  /// The snapshot loader's point of no return: wholesale-replaces every
+  /// table's storage, the union-find relation, and the clock with fully
+  /// staged, fully validated state. \p NewTables must have one entry per
+  /// declared function. noexcept by construction (unique_ptr and vector
+  /// moves only), so the loader can run it between its last fallible step
+  /// and txnCommit with no failure window; the open transaction's
+  /// union-find journal is poisoned (txnCommit never replays it). The
+  /// extraction index is invalidated and any pending error cleared.
+  void adoptContent(std::vector<std::unique_ptr<Table>> NewTables,
+                    std::vector<uint64_t> UFParents,
+                    std::vector<uint64_t> UFDirty, uint64_t UnionCount,
+                    uint32_t NewTimestamp, bool NewUnionsDirty) noexcept;
 
   /// Opens a command transaction (no nesting). Until txnCommit or
   /// txnRollback, union-find parent writes are journaled.

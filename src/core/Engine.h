@@ -184,6 +184,16 @@ public:
   Snapshot snapshot() const;
   void restore(const Snapshot &S);
 
+  /// Drops the memoized saturation-state hashes after the database content
+  /// was replaced out from under the engine (snapshot load). The caches
+  /// are keyed by mutationStamp(), a monotone counter sum that a wholesale
+  /// content swap can replay onto different content, so the stamp check
+  /// alone cannot be trusted across one.
+  void noteExternalMutation() {
+    HasContentHash = false;
+    CachedSigValid = false;
+  }
+
 private:
   EGraph &Graph;
   std::vector<Rule> Rules;

@@ -8,6 +8,7 @@
 
 #include "core/Extract.h"
 #include "core/Query.h"
+#include "core/Snapshot.h"
 #include "support/FailPoints.h"
 
 #include <cassert>
@@ -145,6 +146,10 @@ bool Frontend::dispatchCommand(const SExpr &Form) {
     return execCheck(Form, /*ExpectFailure=*/true);
   if (Head == "extract")
     return execExtract(Form);
+  if (Head == "save")
+    return execSave(Form);
+  if (Head == "load")
+    return execLoad(Form);
   if (Head == "print-size") {
     if (Form.size() != 2 || !Form[1].isSymbol())
       return fail(Form, "usage: (print-size function)");
@@ -734,6 +739,33 @@ bool Frontend::execExtract(const SExpr &Form) {
   if (!Term)
     return fail(Form, "extract: no term represents this value");
   Outputs.push_back(Term->Text);
+  return true;
+}
+
+bool Frontend::execSave(const SExpr &Form) {
+  if (Form.size() != 2 || !Form[1].isString())
+    return fail(Form, "usage: (save <file>) with a string path");
+  EggError Err;
+  if (!saveSnapshot(Graph, Form[1].Text, Err))
+    return failKind(Form, Err.Kind, Err.Message);
+  return true;
+}
+
+bool Frontend::execLoad(const SExpr &Form) {
+  if (Form.size() != 2 || !Form[1].isString())
+    return fail(Form, "usage: (load <file>) with a string path");
+  // A load wholesale-replaces the tables that any open (push) context's
+  // saved snapshot still describes, so it is only legal at depth zero.
+  if (!Contexts.empty())
+    return failKind(Form, ErrKind::IO,
+                    "(load) inside a (push) context is not supported");
+  EggError Err;
+  if (!loadSnapshot(Graph, Form[1].Text, Err))
+    return failKind(Form, Err.Kind, Err.Message);
+  // The engine's saturation-hash caches are keyed by monotone mutation
+  // counters that a wholesale content swap can replay onto different
+  // content; drop them explicitly.
+  Eng.noteExternalMutation();
   return true;
 }
 

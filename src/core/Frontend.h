@@ -181,6 +181,8 @@ private:
   bool execPop(const SExpr &Form);
   bool execCheck(const SExpr &Form, bool ExpectFailure);
   bool execExtract(const SExpr &Form);
+  bool execSave(const SExpr &Form);
+  bool execLoad(const SExpr &Form);
   bool execTopLevelAction(const SExpr &Form);
 
   /// Folds LastRun into Totals (called after every engine run).

@@ -1,0 +1,56 @@
+//===- core/Snapshot.h - Versioned on-disk database snapshots --*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-safe binary persistence of the full database: tables (live rows
+/// and declarations), union-find, interners, sort and primitive
+/// registries. The format is versioned and checksummed section by section
+/// (CRC-32C per section plus a trailing whole-file checksum); the writer
+/// is crash-safe by construction (tmp file + fsync + atomic rename), and
+/// the loader treats the file as untrusted input: every length, id, sort
+/// tag, and cross-reference is validated against already-loaded sections
+/// before anything touches the live EGraph. See DESIGN.md "Snapshot
+/// format and crash safety" for the layout and validation rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_CORE_SNAPSHOT_H
+#define EGGLOG_CORE_SNAPSHOT_H
+
+#include "support/Errors.h"
+
+#include <string>
+
+namespace egglog {
+
+class EGraph;
+
+/// Writes a snapshot of \p G to \p Path, atomically: the bytes stream to
+/// `Path + ".tmp"`, are fsynced, and replace \p Path by rename only once
+/// complete, so a crash (or injected fault — failpoint `snapshot.write`)
+/// at any point leaves the previous snapshot intact. Returns false with
+/// \p Err (kind `io`) on failure; the tmp file is unlinked on every exit
+/// path but the successful rename.
+bool saveSnapshot(const EGraph &G, const std::string &Path, EggError &Err);
+
+/// Loads the snapshot at \p Path into \p G, wholesale-replacing its
+/// content (tables, union-find, clock) and appending any declarations the
+/// snapshot has beyond \p G's. Requires \p G's current declarations to be
+/// a prefix of the snapshot's (same sorts and function signatures in the
+/// same order) so ids map identically — anything else is a declaration
+/// mismatch error. All parsing and validation stages into fresh
+/// structures; \p G is mutated only after the entire file has validated,
+/// and the final content swap is noexcept, so on any failure — truncation,
+/// bit flip, version skew, mismatched declarations — the function returns
+/// false with \p Err (kind `io`) and \p G is untouched (the caller's
+/// command transaction rolls back the declaration appends of a
+/// late-failing load). Must not be called with push/pop contexts open:
+/// their saved snapshots describe the pre-load tables.
+bool loadSnapshot(EGraph &G, const std::string &Path, EggError &Err);
+
+} // namespace egglog
+
+#endif // EGGLOG_CORE_SNAPSHOT_H

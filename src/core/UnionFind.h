@@ -177,6 +177,25 @@ public:
     }
   }
 
+  /// Wholesale-replaces the relation with externally staged state (the
+  /// snapshot loader's point of no return). noexcept by construction —
+  /// vector moves only — so a caller can sequence it after the last
+  /// fallible step and before txnCommit with no failure window. The merge
+  /// log is cleared (its consumers are invalidated alongside); an open
+  /// write journal is poisoned exactly as restore() does, which is safe
+  /// because txnCommit never replays the journal.
+  void adopt(std::vector<uint64_t> NewParents, std::vector<uint64_t> NewDirty,
+             uint64_t NewUnionCount) noexcept {
+    Parents = std::move(NewParents);
+    Dirty = std::move(NewDirty);
+    UnionCount = NewUnionCount;
+    MergeLog.clear();
+    if (Journaling) {
+      UndoLog.clear();
+      Poisoned = true;
+    }
+  }
+
   /// Transactional mode: unlike Snapshot (a full Parents copy, paid per
   /// (push)), a transaction pays O(1) at begin and journals parent writes
   /// as they happen, so the no-error commit path costs nothing beyond the

@@ -1,0 +1,64 @@
+//===- support/Crc32c.h - CRC-32C (Castagnoli) checksums -------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) over byte spans,
+/// used by the snapshot format for per-section and whole-file checksums.
+/// A plain table-driven software implementation: snapshot I/O is dominated
+/// by disk and (de)serialization, so hardware CRC instructions are not
+/// worth a dispatch layer here. The incremental form (seed in, crc out)
+/// lets the writer checksum a file as it streams sections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_SUPPORT_CRC32C_H
+#define EGGLOG_SUPPORT_CRC32C_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace egglog {
+
+namespace detail {
+
+inline const std::array<uint32_t, 256> &crc32cTable() {
+  static const std::array<uint32_t, 256> Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t Crc = I;
+      for (int Bit = 0; Bit < 8; ++Bit)
+        Crc = (Crc >> 1) ^ ((Crc & 1) ? 0x82F63B78u : 0);
+      T[I] = Crc;
+    }
+    return T;
+  }();
+  return Table;
+}
+
+} // namespace detail
+
+/// Extends a running CRC-32C with \p Len bytes. Start from crc32cInit(),
+/// finish with crc32cFinish() (which applies the final complement).
+inline uint32_t crc32cUpdate(uint32_t Crc, const void *Data, size_t Len) {
+  const std::array<uint32_t, 256> &Table = detail::crc32cTable();
+  const uint8_t *Bytes = static_cast<const uint8_t *>(Data);
+  for (size_t I = 0; I < Len; ++I)
+    Crc = Table[(Crc ^ Bytes[I]) & 0xFF] ^ (Crc >> 8);
+  return Crc;
+}
+
+inline uint32_t crc32cInit() { return 0xFFFFFFFFu; }
+inline uint32_t crc32cFinish(uint32_t Crc) { return Crc ^ 0xFFFFFFFFu; }
+
+/// One-shot CRC-32C of a byte span.
+inline uint32_t crc32c(const void *Data, size_t Len) {
+  return crc32cFinish(crc32cUpdate(crc32cInit(), Data, Len));
+}
+
+} // namespace egglog
+
+#endif // EGGLOG_SUPPORT_CRC32C_H

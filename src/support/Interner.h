@@ -41,6 +41,17 @@ public:
     return Strings[Id];
   }
 
+  /// Lookup without interning: sets \p Id and returns true if \p Text is
+  /// already interned. The snapshot loader uses this to remap a snapshot's
+  /// interner ids onto a live database without mutating it.
+  bool find(const std::string &Text, uint32_t &Id) const {
+    auto It = Ids.find(Text);
+    if (It == Ids.end())
+      return false;
+    Id = It->second;
+    return true;
+  }
+
   size_t size() const { return Strings.size(); }
 
 private:
@@ -64,6 +75,15 @@ public:
   const T &lookup(uint32_t Id) const {
     assert(Id < Values.size() && "unknown interned id");
     return Values[Id];
+  }
+
+  /// Lookup without interning (see StringInterner::find).
+  bool find(const T &Value, uint32_t &Id) const {
+    auto It = Ids.find(Value);
+    if (It == Ids.end())
+      return false;
+    Id = It->second;
+    return true;
   }
 
   size_t size() const { return Values.size(); }

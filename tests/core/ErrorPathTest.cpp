@@ -103,6 +103,10 @@ const std::map<std::string, ErrorCase> &usageCases() {
       {"usage: (let name expr)",
        {"(sort S)", "(rule ((= x 1)) ((let y)))", "usage: (let"}},
       {"usage: (delete (f args...))", {"", "(delete)", "usage: (delete"}},
+      {"usage: (save <file>) with a string path",
+       {"", "(save)", "usage: (save"}},
+      {"usage: (load <file>) with a string path",
+       {"", "(load unquoted)", "usage: (load"}},
   };
   return Cases;
 }
@@ -181,6 +185,19 @@ TEST(ErrorPathTest, RuntimeErrorKinds) {
   expectError({"", "(pop)", "without a matching"}, ErrKind::Runtime);
   expectError({"(push) (pop)", "(pop)", "without a matching"},
               ErrKind::Runtime);
+}
+
+TEST(ErrorPathTest, SnapshotIOErrorKinds) {
+  // Path errors from (load)/(save) carry the io kind (exit code 1 through
+  // the runner) and roll back like any other failed command.
+  expectError({"", "(load \"/nonexistent/dir/f.snap\")", "cannot open"},
+              ErrKind::IO);
+  expectError({"(sort S)", "(save \"/nonexistent/dir/f.snap\")",
+               "cannot create"},
+              ErrKind::IO);
+  expectError({"(push)", "(load \"/nonexistent/dir/f.snap\")",
+               "inside a (push) context"},
+              ErrKind::IO);
 }
 
 TEST(ErrorPathTest, ParseErrorsAreStructured) {

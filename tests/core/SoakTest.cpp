@@ -22,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <random>
 #include <string>
 #include <vector>
@@ -142,15 +143,44 @@ private:
   }
 
   /// Replays the whole command log into a fresh frontend pinned at one
-  /// thread and compares the live databases bit-for-bit.
+  /// thread and compares the live databases bit-for-bit. The replay also
+  /// snapshot round-trips itself ((save) then (load)) at a random
+  /// depth-0 boundary and continues from the loaded copy: persistence
+  /// must be invisible to everything the comparison can see.
   void compareWithSerialReplay() {
     // No governor timeout on the replay: every logged command already
     // succeeded once, and a tighter machine-dependent bound here would
     // only turn a slow serial replay into a flake.
     Frontend Replay;
     ASSERT_TRUE(Replay.execute(SoakProgram)) << Replay.error();
-    for (const std::string &C : Log)
-      ASSERT_TRUE(Replay.execute(C)) << C << ": " << Replay.error();
+    const std::string SnapPath = ::testing::TempDir() + "soak_replay.snap";
+    const size_t SnapAt = pick(Log.size() + 1);
+    bool Snapshotted = false;
+    size_t ReplayDepth = 0;
+    // Round-trips at the first log index >= SnapAt where no context is
+    // open ((load) inside a (push) context is rejected by design).
+    auto MaybeRoundTrip = [&](size_t Index) {
+      if (Snapshotted || Index < SnapAt || ReplayDepth != 0)
+        return;
+      ASSERT_TRUE(Replay.execute("(save \"" + SnapPath + "\")"))
+          << Replay.error();
+      ASSERT_TRUE(Replay.execute("(load \"" + SnapPath + "\")"))
+          << Replay.error();
+      Snapshotted = true;
+    };
+    for (size_t I = 0; I < Log.size(); ++I) {
+      MaybeRoundTrip(I);
+      if (::testing::Test::HasFatalFailure())
+        return;
+      ASSERT_TRUE(Replay.execute(Log[I])) << Log[I] << ": "
+                                          << Replay.error();
+      if (Log[I] == "(push)")
+        ++ReplayDepth;
+      else if (Log[I] == "(pop)")
+        --ReplayDepth;
+    }
+    MaybeRoundTrip(Log.size());
+    std::remove(SnapPath.c_str());
     EGraph &S = Subject.graph(), &R = Replay.graph();
     ASSERT_EQ(S.liveTupleCount(), R.liveTupleCount())
         << "tuple count diverged after " << Log.size() << " commands";

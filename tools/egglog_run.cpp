@@ -15,6 +15,8 @@
 //        egglog-run --keep-going ...       report errors, keep executing
 //        egglog-run --stats ...            dump per-phase timing at exit
 //        egglog-run --extract ...          dump extraction-cache stats at exit
+//        egglog-run --snapshot-in F ...    load a database snapshot first
+//        egglog-run --snapshot-out F ...   save a snapshot after success
 //
 // Exit codes: 0 success, 1 user error (parse/type/runtime/io), 2 resource
 // limit or cancellation, 3 internal error. Errors go to stderr as
@@ -121,11 +123,26 @@ void dumpExtractStats(Frontend &F) {
                static_cast<unsigned long long>(St.MergesFolded));
 }
 
+/// Runs (load "path") / (save "path") through the normal command path, so
+/// snapshot I/O gets the same transactional rollback and io-kind error
+/// reporting as in-program commands. The form is built directly (not
+/// parsed), so paths never need escaping.
+int runSnapshotCommand(Frontend &F, const char *Command,
+                       const std::string &Path) {
+  SExpr Form = SExpr::makeList(
+      {SExpr::makeSymbol(Command), SExpr::makeString(Path)});
+  if (F.executeForm(Form))
+    return 0;
+  reportError(Path, F.lastError(), F.error());
+  return std::max(1, errExitCode(F.lastError().Kind));
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   Frontend F;
   std::vector<std::string> Files;
+  std::string SnapshotIn, SnapshotOut;
   bool Stats = false;
   bool ExtractStats = false;
   bool KeepGoing = false;
@@ -163,11 +180,26 @@ int main(int argc, char **argv) {
         return 1;
       }
       F.graph().governor().setMaxBytes(static_cast<size_t>(MB) << 20);
+    } else if (std::strcmp(argv[I], "--snapshot-in") == 0) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "--snapshot-in expects a file path\n");
+        return 1;
+      }
+      SnapshotIn = argv[++I];
+    } else if (std::strcmp(argv[I], "--snapshot-out") == 0) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "--snapshot-out expects a file path\n");
+        return 1;
+      }
+      SnapshotOut = argv[++I];
     } else if (std::strcmp(argv[I], "--help") == 0) {
       std::printf(
           "usage: egglog-run [--no-seminaive] [--backoff] [--threads N]\n"
           "                  [--timeout S] [--max-memory MB] [--keep-going]\n"
-          "                  [--stats] [--extract] [file.egg ...]\n"
+          "                  [--stats] [--extract] [--snapshot-in F]\n"
+          "                  [--snapshot-out F] [file.egg ...]\n"
+          "--snapshot-in loads a database snapshot before the programs run;\n"
+          "--snapshot-out saves one after they all succeed.\n"
           "exit codes: 0 success, 1 user error, 2 limit/cancelled, "
           "3 internal\n");
       return 0;
@@ -177,6 +209,11 @@ int main(int argc, char **argv) {
   }
 
   int Status = 0;
+  if (!SnapshotIn.empty()) {
+    Status = runSnapshotCommand(F, "load", SnapshotIn);
+    if (Status)
+      return Status;
+  }
   if (Files.empty()) {
     std::string Source(std::istreambuf_iterator<char>(std::cin.rdbuf()), {});
     Status = runProgram(F, Source, "<stdin>", KeepGoing);
@@ -199,6 +236,8 @@ int main(int argc, char **argv) {
         break;
     }
   }
+  if (Status == 0 && !SnapshotOut.empty())
+    Status = runSnapshotCommand(F, "save", SnapshotOut);
   if (Stats)
     dumpStats(F);
   if (ExtractStats)
