@@ -6,28 +6,92 @@
 // runtimes plus the §6.1 headline speedups (egglog vs patched, cclyzer++,
 // and egglogNI).
 //
-// Usage: bench_pointsto [scale] [timeout_seconds] [threads]
-//   scale    multiplies every program's instruction count (default 0.15 so
-//            the whole figure regenerates in minutes; use 1.0 for the
-//            paper-sized suite)
-//   threads  match-phase concurrency for the egglog systems (default 1;
-//            the JSON record carries it so the perf trajectory can
-//            attribute wins per phase and per thread count)
+// Usage: bench_pointsto [--scale S] [--timeout T] [--threads N]
+//        bench_pointsto [scale] [timeout_seconds] [threads]   (legacy)
+//   --scale    multiplies every program's instruction count (default 0.15
+//              so the whole figure regenerates in minutes; 1.0 is the
+//              paper-sized suite; larger values probe the columnar
+//              engine's scaling headroom)
+//   --threads  match-phase concurrency for the egglog systems (default 1;
+//              the JSON record carries it so the perf trajectory can
+//              attribute wins per phase and per thread count)
+//
+// The JSON record also reports max_rss_mb (peak resident set of the whole
+// process) and content_hash (XOR of the egglog system's per-program
+// liveContentHash), so bench artifacts from different commits can certify
+// both the memory claim and that they computed the same fixpoints.
 //
 //===----------------------------------------------------------------------===//
 
 #include "pointsto/Analyses.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 using namespace egglog::pointsto;
 
+namespace {
+
+/// Peak resident set size of this process in megabytes, or 0 where
+/// getrusage is unavailable.
+double maxRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return static_cast<double>(Usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(Usage.ru_maxrss) / 1024.0; // Linux: KiB
+#endif
+#else
+  return 0;
+#endif
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
-  double Scale = argc > 1 ? std::atof(argv[1]) : 0.15;
-  double Timeout = argc > 2 ? std::atof(argv[2]) : 10.0;
-  int ThreadsArg = argc > 3 ? std::atoi(argv[3]) : 1;
+  double Scale = 0.15, Timeout = 10.0;
+  int ThreadsArg = 1;
+  // Flag form first; bare positional arguments keep their legacy meaning
+  // (scale, timeout, threads in order).
+  int Positional = 0;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strcmp(Arg, "--scale") == 0 && I + 1 < argc) {
+      Scale = std::atof(argv[++I]);
+    } else if (std::strcmp(Arg, "--timeout") == 0 && I + 1 < argc) {
+      Timeout = std::atof(argv[++I]);
+    } else if (std::strcmp(Arg, "--threads") == 0 && I + 1 < argc) {
+      ThreadsArg = std::atoi(argv[++I]);
+    } else if (Arg[0] == '-' && Arg[1] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", Arg);
+      return 1;
+    } else {
+      switch (Positional++) {
+      case 0:
+        Scale = std::atof(Arg);
+        break;
+      case 1:
+        Timeout = std::atof(Arg);
+        break;
+      case 2:
+        ThreadsArg = std::atoi(Arg);
+        break;
+      default:
+        std::fprintf(stderr, "unexpected argument %s\n", Arg);
+        return 1;
+      }
+    }
+  }
   unsigned Threads = ThreadsArg < 1 ? 1u : static_cast<unsigned>(ThreadsArg);
 
   std::vector<Program> Suite = postgresSuite(Scale);
@@ -50,6 +114,7 @@ int main(int argc, char **argv) {
   // for the machine-readable trajectory record.
   double EgglogTotal = 0, EgglogSearch = 0, EgglogApply = 0,
          EgglogApplyStage = 0, EgglogRebuild = 0, EgglogRebuildGather = 0;
+  uint64_t ContentHash = 0;
 
   for (const Program &P : Suite) {
     std::printf("%-22s %8zu", P.Name.c_str(), P.numInstructions());
@@ -66,6 +131,7 @@ int main(int argc, char **argv) {
         EgglogApplyStage += Result.ApplyStageSeconds;
         EgglogRebuild += Result.RebuildSeconds;
         EgglogRebuildGather += Result.RebuildGatherSeconds;
+        ContentHash ^= Result.ContentHash;
       }
       if (Result.TimedOut) {
         ++Timeouts[S];
@@ -105,14 +171,20 @@ int main(int argc, char **argv) {
   // full egglog system summed over every program in the suite. match_s
   // duplicates search_s under the phase-separated pipeline's name so the
   // trajectory can attribute wins per phase; threads records the match
-  // concurrency the record was taken at.
+  // concurrency the record was taken at. max_rss_mb is the process peak
+  // RSS (dominated by the largest program's tables at the largest scale),
+  // and content_hash folds every program's post-run liveContentHash so
+  // records at the same (scale, suite) are directly comparable across
+  // engine versions.
   std::printf("{\"bench\": \"pointsto\", \"system\": \"egglog\", "
               "\"programs\": %zu, \"timeouts\": %zu, \"threads\": %u, "
+              "\"scale\": %.3f, "
               "\"search_s\": %.6f, \"match_s\": %.6f, \"apply_s\": %.6f, "
               "\"apply_stage_s\": %.6f, \"rebuild_s\": %.6f, "
-              "\"rebuild_gather_s\": %.6f, \"total_s\": %.6f}\n",
-              Suite.size(), Timeouts[4], Threads, EgglogSearch, EgglogSearch,
-              EgglogApply, EgglogApplyStage, EgglogRebuild,
-              EgglogRebuildGather, EgglogTotal);
+              "\"rebuild_gather_s\": %.6f, \"total_s\": %.6f, "
+              "\"max_rss_mb\": %.1f, \"content_hash\": \"%" PRIx64 "\"}\n",
+              Suite.size(), Timeouts[4], Threads, Scale, EgglogSearch,
+              EgglogSearch, EgglogApply, EgglogApplyStage, EgglogRebuild,
+              EgglogRebuildGather, EgglogTotal, maxRssMb(), ContentHash);
   return 0;
 }

@@ -323,12 +323,13 @@ bool EGraph::rewriteRow(FunctionId Func, size_t Row, std::vector<Value> &Buffer,
                         bool &Rewritten) {
   Table &T = *Functions[Func]->Storage;
   unsigned Width = T.rowWidth();
-  Buffer.assign(T.row(Row), T.row(Row) + Width);
+  Buffer.resize(Width);
+  T.copyRow(Row, Buffer.data());
   if (!canonicalizeRow(Buffer.data(), Width))
     return true;
   // The row is stale: remove it and reinsert canonically (which may
   // trigger the merge expression on a collision).
-  T.erase(T.row(Row));
+  T.eraseRow(Row);
   Rewritten = true;
   return setValue(Func, Buffer.data(), Buffer[Width - 1]);
 }
@@ -528,6 +529,12 @@ unsigned EGraph::rebuildIncrementalParallel(ThreadPool &Pool,
               Sweep ? TableGather::Mode::Sweep : TableGather::Mode::PerId;
           uint32_t PollTick = 0;
           std::vector<Value> Image(Width);
+          // The gather phase is read-only, so the column base pointers are
+          // stable for its whole duration: per-cell reads are direct
+          // column-array loads.
+          std::vector<const Value *> Cols(Width);
+          for (unsigned I = 0; I < Width; ++I)
+            Cols[I] = T.column(I);
           auto Visit = [&](size_t Row) {
             EGGLOG_FAILPOINT("rebuild.occurrence");
             if ((PollTick++ & 63) == 0 &&
@@ -535,17 +542,17 @@ unsigned EGraph::rebuildIncrementalParallel(ThreadPool &Pool,
               GatherStop.store(true, std::memory_order_relaxed);
               return false;
             }
-            const Value *Cells = T.row(Row);
             bool Stale = false;
             for (unsigned I = 0; I < Width; ++I) {
-              Value V = Cells[I];
+              Value Cell = Cols[I][Row];
+              Value V = Cell;
               // findReadOnly never writes; eligible tables hold no
               // container cells reaching ids, so canonicalization is the
               // union-find lookup alone.
               if (SortsTable.kind(V.Sort) == SortKind::User)
                 V = Value(V.Sort, UF.findReadOnly(V.Bits));
               Image[I] = V;
-              Stale |= V != Cells[I];
+              Stale |= V != Cell;
             }
             TG.VisitRows.push_back(static_cast<uint32_t>(Row));
             if (!Stale) {
@@ -633,11 +640,14 @@ unsigned EGraph::rebuildIncrementalParallel(ThreadPool &Pool,
         }
         PassDirty.absorb();
         uint32_t Img = TG.VisitImage[V];
+        // The tail mutates tables (appends can reallocate columns), so
+        // rows without a frozen image are read cell-by-cell, not through a
+        // cached pointer.
         const Value *ImageCells =
-            Img == UINT32_MAX ? T.row(Row) : TG.Images.data() + Img;
+            Img == UINT32_MAX ? nullptr : TG.Images.data() + Img;
         bool CellDirty = false;
         for (unsigned I = 0; I < Width; ++I) {
-          Value C = ImageCells[I];
+          Value C = ImageCells ? ImageCells[I] : T.cell(Row, I);
           if (SortsTable.kind(C.Sort) == SortKind::User &&
               PassDirty.dirty(C.Bits)) {
             CellDirty = true;
@@ -658,7 +668,7 @@ unsigned EGraph::rebuildIncrementalParallel(ThreadPool &Pool,
           continue; // canonical at the freeze and untouched since
         // Stale at the freeze with a still-valid image: exactly
         // rewriteRow's mutation, minus recomputing the canonicalization.
-        T.erase(T.row(Row));
+        T.eraseRow(Row);
         TableRewritten = true;
         if (!setValue(Func, ImageCells, ImageCells[Width - 1])) {
           Rewritten[F] = true;
@@ -880,14 +890,17 @@ size_t EGraph::liveTupleCount() const {
 
 uint64_t EGraph::liveContentHash() const {
   uint64_t Total = 0;
+  std::vector<const Value *> Cols;
   for (size_t F = 0; F < Functions.size(); ++F) {
     const Table &T = *Functions[F]->Storage;
     unsigned Width = T.rowWidth();
+    Cols.resize(Width);
+    for (unsigned I = 0; I < Width; ++I)
+      Cols[I] = T.column(I);
     for (size_t Row : T.liveRows()) {
       uint64_t RowHash = hashMix(F + 0x9E3779B97F4A7C15ull);
-      const Value *Cells = T.row(Row);
       for (unsigned I = 0; I < Width; ++I)
-        RowHash = hashCombine(RowHash, Cells[I].hash());
+        RowHash = hashCombine(RowHash, Cols[I][Row].hash());
       // Sum keeps the accumulator order-independent across rows.
       Total += RowHash;
     }

@@ -113,14 +113,13 @@ void ExtractIndex::consider(EGraph &Graph, uint32_t Func, uint32_t Row) {
   if (!T.isLive(Row))
     return;
   ++S.RowsConsidered;
-  const Value *Cells = T.row(Row);
   unsigned NumKeys = Info.numKeys();
   int64_t Total = Info.Decl.Cost;
   for (unsigned I = 0; I < NumKeys && Total != Infinity; ++I)
-    Total = saturatingAdd(Total, costOf(Graph, Cells[I]));
+    Total = saturatingAdd(Total, costOf(Graph, T.cell(Row, I)));
   if (Total == Infinity)
     return;
-  uint64_t Out = Graph.unionFind().find(Cells[NumKeys].Bits);
+  uint64_t Out = Graph.unionFind().find(T.output(Row).Bits);
   Entry &E = Best[Out];
   if (Total < E.Cost) {
     E = Entry{Total, Func, Row};
@@ -175,12 +174,13 @@ bool ExtractIndex::scanSuffix(EGraph &Graph, size_t Func) {
       continue;
     if (!Graph.governorCheckpoint("extract.scan"))
       return false;
-    const Value *Cells = T.row(Row);
-    for (unsigned I = 0; I < NumKeys; ++I)
-      if (Graph.sorts().isIdSort(Cells[I].Sort))
-        pushNode(UseHead, UseTail, UF.find(Cells[I].Bits), F,
+    for (unsigned I = 0; I < NumKeys; ++I) {
+      Value Key = T.cell(Row, I);
+      if (Graph.sorts().isIdSort(Key.Sort))
+        pushNode(UseHead, UseTail, UF.find(Key.Bits), F,
                  static_cast<uint32_t>(Row));
-    pushNode(ProdHead, ProdTail, UF.find(Cells[NumKeys].Bits), F,
+    }
+    pushNode(ProdHead, ProdTail, UF.find(T.output(Row).Bits), F,
              static_cast<uint32_t>(Row));
     consider(Graph, F, static_cast<uint32_t>(Row));
   }
@@ -340,9 +340,10 @@ void pushRow(EGraph &Graph, FunctionId Func, uint32_t Row,
   Out += '(';
   Out += Info.Decl.Name;
   Stack.push_back(RenderItem{Value(), /*CloseParen=*/true, false});
-  const Value *Cells = Info.Storage->row(Row);
+  const Table &T = *Info.Storage;
   for (unsigned I = Info.numKeys(); I > 0; --I)
-    Stack.push_back(RenderItem{Cells[I - 1], false, /*LeadingSpace=*/true});
+    Stack.push_back(RenderItem{T.cell(Row, I - 1), false,
+                               /*LeadingSpace=*/true});
 }
 
 /// Emits the best term of each stacked value into \p Out. The stack is
@@ -410,9 +411,8 @@ int64_t ExtractIndex::dagCostFromRow(const EGraph &Graph, FunctionId Func,
   auto AddRow = [&](FunctionId F, uint32_t R) {
     const FunctionInfo &Info = Graph.function(F);
     Total = saturatingAdd(Total, Info.Decl.Cost);
-    const Value *Cells = Info.Storage->row(R);
     for (unsigned I = 0; I < Info.numKeys(); ++I) {
-      Value Cell = Cells[I];
+      Value Cell = Info.Storage->cell(R, I);
       if (!Graph.sorts().isIdSort(Cell.Sort)) {
         Total = saturatingAdd(Total, 1);
         continue;
@@ -509,10 +509,9 @@ std::vector<ExtractedTerm> egglog::extractVariants(EGraph &Graph, Value V,
   Candidates.reserve(Rows.size());
   for (auto [Func, Row] : Rows) {
     const FunctionInfo &Info = Graph.function(Func);
-    const Value *Cells = Info.Storage->row(Row);
     int64_t Total = Info.Decl.Cost;
     for (unsigned I = 0; I < Info.numKeys() && Total != Infinity; ++I)
-      Total = saturatingAdd(Total, Idx.costOf(Graph, Cells[I]));
+      Total = saturatingAdd(Total, Idx.costOf(Graph, Info.Storage->cell(Row, I)));
     if (Total != Infinity)
       Candidates.push_back(Candidate{Total, Func, Row});
   }
@@ -561,13 +560,12 @@ egglog::extractCostsReference(EGraph &Graph) {
       const Table &T = *Info.Storage;
       unsigned NumKeys = Info.numKeys();
       for (size_t Row : T.liveRows()) {
-        const Value *Cells = T.row(Row);
         int64_t Total = Info.Decl.Cost;
         for (unsigned I = 0; I < NumKeys && Total != Infinity; ++I)
-          Total = saturatingAdd(Total, CostOf(Cells[I]));
+          Total = saturatingAdd(Total, CostOf(T.cell(Row, I)));
         if (Total == Infinity)
           continue;
-        uint64_t Out = Graph.unionFind().find(Cells[NumKeys].Bits);
+        uint64_t Out = Graph.unionFind().find(T.output(Row).Bits);
         auto It = Costs.find(Out);
         if (It == Costs.end() || Total < It->second) {
           Costs[Out] = Total;

@@ -89,11 +89,18 @@ const ColumnIndex &IndexCache::get(const std::vector<unsigned> &Perm,
 
 void IndexCache::refreshAll(const std::vector<unsigned> &Perm,
                             ColumnIndex &Idx) {
-  auto Less = [this, &Perm](uint32_t A, uint32_t B) {
-    const Value *RowA = T.row(A), *RowB = T.row(B);
-    for (unsigned Pos : Perm)
-      if (RowA[Pos] != RowB[Pos])
-        return RowA[Pos] < RowB[Pos];
+  // Gather the permuted column base pointers once; the comparator then
+  // touches only the contiguous column arrays (no per-row pointer
+  // arithmetic), which is what makes the sort and merge cache-linear under
+  // the columnar table layout.
+  PermCols.clear();
+  for (unsigned Pos : Perm)
+    PermCols.push_back(T.column(Pos));
+  const std::vector<const Value *> &Cols = PermCols;
+  auto Less = [&Cols](uint32_t A, uint32_t B) {
+    for (const Value *Col : Cols)
+      if (Col[A] != Col[B])
+        return Col[A] < Col[B];
     return A < B;
   };
 
@@ -125,9 +132,6 @@ void IndexCache::refreshAll(const std::vector<unsigned> &Perm,
     ++Counters.Refreshes;
   }
 
-  Idx.Ptrs.resize(Idx.Ids.size());
-  for (size_t I = 0; I < Idx.Ids.size(); ++I)
-    Idx.Ptrs[I] = T.row(Idx.Ids[I]);
   Idx.BuiltVersion = T.version();
   Idx.BuiltRows = Rows;
   Idx.BuiltKills = T.killCount();
@@ -136,16 +140,26 @@ void IndexCache::refreshAll(const std::vector<unsigned> &Perm,
 void IndexCache::derivePartition(ColumnIndex &Idx, const ColumnIndex &All,
                                  AtomFilter Filter, uint32_t DeltaBound) {
   assert(Filter != AtomFilter::All && "partitions are Old or New");
+  // A single stable linear filter of the All index against the stamp
+  // column: a cache-linear gather over two flat arrays.
+  const uint32_t *Stamps = T.stampColumn();
   Idx.Ids.clear();
-  Idx.Ptrs.clear();
-  Idx.Ptrs.reserve(All.Ptrs.size());
-  for (size_t I = 0; I < All.Ids.size(); ++I) {
-    bool IsNew = T.stamp(All.Ids[I]) >= DeltaBound;
+  Idx.Ids.reserve(All.Ids.size());
+  for (uint32_t Row : All.Ids) {
+    bool IsNew = Stamps[Row] >= DeltaBound;
     if ((Filter == AtomFilter::New) == IsNew)
-      Idx.Ptrs.push_back(All.Ptrs[I]);
+      Idx.Ids.push_back(Row);
   }
   Idx.BuiltVersion = T.version();
   Idx.BuiltRows = T.rowCount();
   Idx.BuiltKills = T.killCount();
   ++Counters.Derivations;
+}
+
+size_t IndexCache::approxBytes() const {
+  size_t Bytes = 0;
+  for (const auto &[Key, Idx] : Entries)
+    Bytes += Idx.Ids.capacity() * sizeof(uint32_t) +
+             Key.Perm.capacity() * sizeof(unsigned);
+  return Bytes;
 }

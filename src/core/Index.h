@@ -69,21 +69,25 @@ inline void makeDeltaVariantFilters(std::vector<AtomFilter> &Filters,
 
 /// One sorted column index: the table's live rows (restricted to a stamp
 /// partition) ordered lexicographically by a column permutation.
+///
+/// The index stores sorted row ids only — under the columnar table layout
+/// a consumer pairs them with Table::column() base pointers, so a probe of
+/// position P on candidate I reads `Col[P][Ids[I]]`: two contiguous
+/// arrays, no per-row pointer chase.
 class ColumnIndex {
 public:
-  /// Pointers to the first cell of each row, in index order. Stable for as
-  /// long as the owning table is not mutated.
-  const std::vector<const Value *> &rows() const { return Ptrs; }
-  size_t size() const { return Ptrs.size(); }
+  /// Sorted row ids, in index order. Stable for as long as the owning
+  /// table is not mutated.
+  const std::vector<uint32_t> &ids() const { return Ids; }
+  size_t size() const { return Ids.size(); }
 
 private:
   friend class IndexCache;
 
   /// Sorted row ids; the persistent structure an incremental refresh
-  /// updates in place. Partition entries leave this empty (they are
-  /// re-derived from the All index instead).
+  /// updates in place (partition entries are re-derived from the All
+  /// index by a linear stamp filter instead).
   std::vector<uint32_t> Ids;
-  std::vector<const Value *> Ptrs;
   uint64_t BuiltVersion = UINT64_MAX;
   size_t BuiltRows = 0;
   uint64_t BuiltKills = 0;
@@ -140,6 +144,10 @@ public:
 
   const Stats &stats() const { return Counters; }
 
+  /// Approximate bytes held by the cached entries (for the governor's
+  /// ceiling, via Table::approxBytes).
+  size_t approxBytes() const;
+
 private:
   /// Cache key. The bound is normalized to 0 for AtomFilter::All (the
   /// partition bound is meaningless there).
@@ -173,6 +181,9 @@ private:
   /// Table version the last sweep ran at.
   uint64_t SweptVersion = UINT64_MAX;
   Stats Counters;
+  /// Scratch: the permuted column base pointers of the refresh in
+  /// progress, so the sort comparator walks contiguous column arrays.
+  std::vector<const Value *> PermCols;
 
   void sweepStaleSlow();
 

@@ -29,9 +29,14 @@ struct AtomCol {
 /// change between executions.
 struct AtomExec {
   const QueryAtom *Atom = nullptr;
-  /// Candidate rows, borrowed from the table's IndexCache. Stable because
-  /// queries never mutate tables.
-  const std::vector<const Value *> *Rows = nullptr;
+  /// Sorted candidate row ids, borrowed from the table's IndexCache.
+  /// Stable because queries never mutate tables.
+  const std::vector<uint32_t> *Rows = nullptr;
+  /// Base pointer of each term position's column array in the columnar
+  /// table storage: ColBase[Pos][(*Rows)[I]] is candidate I's value at
+  /// term position Pos. Captured per execution; stable because queries
+  /// never mutate tables.
+  std::vector<const Value *> ColBase;
   /// The atom's distinct variables, re-sorted to global variable order at
   /// the start of every execution.
   std::vector<AtomCol> Cols;
@@ -59,6 +64,65 @@ void insertionSort(Iter First, Iter Last, Less Cmp) {
   for (Iter I = First; I != Last; ++I)
     for (Iter J = I; J != First && Cmp(*J, *(J - 1)); --J)
       std::iter_swap(J, J - 1);
+}
+
+/// First index in [Lo, Hi) whose column value is >= \p V: a lower bound
+/// over the id-indirected column array (Col[Ids[I]] is candidate I's
+/// value, non-decreasing over the range).
+size_t lowerBoundIds(const uint32_t *Ids, const Value *Col, size_t Lo,
+                     size_t Hi, Value V) {
+  while (Lo < Hi) {
+    size_t Mid = Lo + (Hi - Lo) / 2;
+    if (Col[Ids[Mid]] < V)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}
+
+/// First index in [Lo, Hi) whose column value is > \p V.
+size_t upperBoundIds(const uint32_t *Ids, const Value *Col, size_t Lo,
+                     size_t Hi, Value V) {
+  while (Lo < Hi) {
+    size_t Mid = Lo + (Hi - Lo) / 2;
+    if (V < Col[Ids[Mid]])
+      Hi = Mid;
+    else
+      Lo = Mid + 1;
+  }
+  return Lo;
+}
+
+/// lowerBoundIds specialized for a probe expected to land near \p Lo:
+/// gallop (exponential steps) to bracket the answer, then binary-search
+/// the final window. The batched join probes sweep each participant with
+/// an ascending run of candidate values, so successive answers are close
+/// together and the gallop costs O(log gap) instead of O(log range).
+size_t gallopLowerBoundIds(const uint32_t *Ids, const Value *Col, size_t Lo,
+                           size_t Hi, Value V) {
+  if (Lo >= Hi || !(Col[Ids[Lo]] < V))
+    return Lo;
+  size_t Step = 1;
+  while (Lo + Step < Hi && Col[Ids[Lo + Step]] < V)
+    Step *= 2;
+  // Col[Ids[Lo + Step/2]] < V, and either Lo + Step overshoots Hi or
+  // Col[Ids[Lo + Step]] >= V: the answer lies in (Lo+Step/2, Lo+Step].
+  return lowerBoundIds(Ids, Col, Lo + Step / 2 + 1, std::min(Lo + Step, Hi),
+                       V);
+}
+
+/// upperBoundIds with the same gallop-from-\p Lo strategy (equal runs are
+/// typically short, so the run end is near its start).
+size_t gallopUpperBoundIds(const uint32_t *Ids, const Value *Col, size_t Lo,
+                           size_t Hi, Value V) {
+  if (Lo >= Hi || V < Col[Ids[Lo]])
+    return Lo;
+  size_t Step = 1;
+  while (Lo + Step < Hi && !(V < Col[Ids[Lo + Step]]))
+    Step *= 2;
+  return upperBoundIds(Ids, Col, Lo + Step / 2 + 1, std::min(Lo + Step, Hi),
+                       V);
 }
 
 } // namespace
@@ -194,6 +258,9 @@ private:
   struct LevelScratch {
     std::vector<size_t> Participants;
     std::vector<SavedRange> Saved;
+    /// Per-participant sweep cursor for the batched probes: a monotone
+    /// lower bound on where the next (ascending) candidate can start.
+    std::vector<size_t> Cursors;
   };
   std::vector<LevelScratch> Levels;
 
@@ -310,7 +377,10 @@ private:
       } else {
         Index = &T.indexes().get(Perm, Filter, DeltaBound);
       }
-      Exec.Rows = &Index->rows();
+      Exec.Rows = &Index->ids();
+      Exec.ColBase.resize(Exec.Atom->Terms.size());
+      for (unsigned P = 0; P < Exec.ColBase.size(); ++P)
+        Exec.ColBase[P] = T.column(P);
       Exec.Lo = 0;
       Exec.Hi = Index->size();
       Exec.Depth = 0;
@@ -427,20 +497,13 @@ private:
   /// column of the index permutation); returns false if empty. Saves
   /// nothing; caller snapshots ranges.
   bool narrowOn(AtomExec &Exec, unsigned Pos, Value V) {
-    auto Begin = Exec.Rows->begin() + Exec.Lo;
-    auto End = Exec.Rows->begin() + Exec.Hi;
-    auto Range = std::equal_range(
-        Begin, End, V,
-        [Pos](const auto &A, const auto &B) {
-          if constexpr (std::is_same_v<std::decay_t<decltype(A)>, Value>)
-            return A < B[Pos];
-          else
-            return A[Pos] < B;
-        });
-    if (Range.first == Range.second)
+    const uint32_t *Ids = Exec.Rows->data();
+    const Value *Col = Exec.ColBase[Pos];
+    size_t Lo = lowerBoundIds(Ids, Col, Exec.Lo, Exec.Hi, V);
+    if (Lo == Exec.Hi || Col[Ids[Lo]] != V)
       return false;
-    Exec.Lo = Range.first - Exec.Rows->begin();
-    Exec.Hi = Range.second - Exec.Rows->begin();
+    Exec.Lo = Lo;
+    Exec.Hi = upperBoundIds(Ids, Col, Lo + 1, Exec.Hi, V);
     return true;
   }
 
@@ -449,6 +512,35 @@ private:
   bool narrowTo(AtomExec &Exec, Value V) {
     for (unsigned Pos : Exec.Cols[Exec.Depth].Positions)
       if (!narrowOn(Exec, Pos, V))
+        return false;
+    ++Exec.Depth;
+    return true;
+  }
+
+  /// narrowTo() with a sweep cursor for the first occurrence. The caller
+  /// probes with an ascending run of candidate values, so \p Cursor — the
+  /// previous probe's landing point — is a valid lower bound for this one:
+  /// the equal range is found by galloping forward from it rather than
+  /// bisecting the whole saved range (the "sort probe keys once, sweep the
+  /// sorted run" half of the batched-probe scheme; the probe keys arrive
+  /// pre-sorted because the driver's groups are themselves a sorted run).
+  bool narrowToSwept(AtomExec &Exec, Value V, size_t &Cursor) {
+    const AtomCol &Col = Exec.Cols[Exec.Depth];
+    const uint32_t *Ids = Exec.Rows->data();
+    const Value *C = Exec.ColBase[Col.Positions[0]];
+    size_t Lo =
+        gallopLowerBoundIds(Ids, C, std::max(Exec.Lo, Cursor), Exec.Hi, V);
+    Cursor = Lo;
+    if (Lo == Exec.Hi || C[Ids[Lo]] != V)
+      return false;
+    size_t RunEnd = gallopUpperBoundIds(Ids, C, Lo + 1, Exec.Hi, V);
+    // The next candidate is strictly greater, so its run starts at or
+    // after this run's end.
+    Cursor = RunEnd;
+    Exec.Lo = Lo;
+    Exec.Hi = RunEnd;
+    for (size_t P = 1; P < Col.Positions.size(); ++P)
+      if (!narrowOn(Exec, Col.Positions[P], V))
         return false;
     ++Exec.Depth;
     return true;
@@ -527,6 +619,14 @@ private:
     assert(!Participants.empty() &&
            "join variable not constrained by any atom");
 
+    // Free-join-style binary fast path: with a single participant there is
+    // nothing to intersect — enumerate its groups directly, skipping the
+    // snapshot/restore bookkeeping.
+    if (Participants.size() == 1) {
+      binaryJoinLevel(Level, Var, Atoms[Participants[0]]);
+      return;
+    }
+
     // Driver: the participant with the smallest current range.
     size_t Driver = Participants[0];
     for (size_t Index : Participants)
@@ -534,22 +634,33 @@ private:
           Atoms[Driver].Hi - Atoms[Driver].Lo)
         Driver = Index;
     AtomExec &DriverExec = Atoms[Driver];
-    const std::vector<const Value *> &DriverRows = *DriverExec.Rows;
-    unsigned DriverPos = DriverExec.Cols[DriverExec.Depth].Positions[0];
+    const uint32_t *DriverIds = DriverExec.Rows->data();
+    const Value *DriverCol =
+        DriverExec.ColBase[DriverExec.Cols[DriverExec.Depth].Positions[0]];
+
+    // Batched probes: every non-driver participant keeps a sweep cursor.
+    // The driver's candidates ascend across the group loop, so each
+    // participant's equal range only moves forward — narrowToSwept gallops
+    // from the cursor instead of bisecting the whole saved range.
+    std::vector<size_t> &Cursors = Levels[Level].Cursors;
+    Cursors.resize(Participants.size());
+    for (size_t I = 0; I < Participants.size(); ++I)
+      Cursors[I] = Atoms[Participants[I]].Lo;
 
     size_t GroupStart = DriverExec.Lo;
     size_t DriverHi = DriverExec.Hi;
     while (GroupStart < DriverHi) {
-      Value Candidate = DriverRows[GroupStart][DriverPos];
+      Value Candidate = DriverCol[DriverIds[GroupStart]];
       size_t GroupEnd = GroupStart + 1;
       while (GroupEnd < DriverHi &&
-             DriverRows[GroupEnd][DriverPos] == Candidate)
+             DriverCol[DriverIds[GroupEnd]] == Candidate)
         ++GroupEnd;
 
       Snapshot();
       size_t Mark = trailMark();
       bool Alive = true;
-      for (size_t Index : Participants) {
+      for (size_t I = 0; I < Participants.size(); ++I) {
+        size_t Index = Participants[I];
         if (Index == Driver) {
           // The group already fixes the first occurrence; narrow any
           // repeated occurrences of the variable to the same value.
@@ -564,7 +675,7 @@ private:
           ++Exec.Depth;
           continue;
         }
-        if (!narrowTo(Atoms[Index], Candidate)) {
+        if (!narrowToSwept(Atoms[Index], Candidate, Cursors[I])) {
           Alive = false;
           break;
         }
@@ -578,6 +689,63 @@ private:
     }
   }
 
+  /// Single-participant join level: the candidate groups come from one
+  /// atom, so there is no intersection to compute — a binary-join scan
+  /// over its sorted run. At the last level, with a single occurrence and
+  /// no pending primitives, it degenerates into a pure vectorized column
+  /// scan emitting one match per group.
+  void binaryJoinLevel(size_t Level, uint32_t Var, AtomExec &Exec) {
+    const AtomCol &Col = Exec.Cols[Exec.Depth];
+    const uint32_t *Ids = Exec.Rows->data();
+    const Value *C = Exec.ColBase[Col.Positions[0]];
+    size_t SavedLo = Exec.Lo, SavedHi = Exec.Hi;
+    unsigned SavedDepth = Exec.Depth;
+
+    if (Level + 1 == VarOrder.size() && Col.Positions.size() == 1 &&
+        PendingPrims == 0) {
+      for (size_t GroupStart = SavedLo; GroupStart < SavedHi;) {
+        if (checkCancel())
+          return;
+        Value Candidate = C[Ids[GroupStart]];
+        do
+          ++GroupStart;
+        while (GroupStart < SavedHi && C[Ids[GroupStart]] == Candidate);
+        Env[Var] = Candidate;
+        if (CollectArena) {
+          CollectArena->insert(CollectArena->end(), Env.begin(), Env.end());
+          ++*CollectCount;
+        } else {
+          (*Callback)(Env);
+        }
+      }
+      return;
+    }
+
+    for (size_t GroupStart = SavedLo; GroupStart < SavedHi;) {
+      Value Candidate = C[Ids[GroupStart]];
+      size_t GroupEnd = GroupStart + 1;
+      while (GroupEnd < SavedHi && C[Ids[GroupEnd]] == Candidate)
+        ++GroupEnd;
+      Exec.Lo = GroupStart;
+      Exec.Hi = GroupEnd;
+      Exec.Depth = SavedDepth;
+      bool Alive = true;
+      for (size_t P = 1; Alive && P < Col.Positions.size(); ++P)
+        Alive = narrowOn(Exec, Col.Positions[P], Candidate);
+      if (Alive) {
+        ++Exec.Depth;
+        size_t Mark = trailMark();
+        if (bindVar(Var, Candidate) && runReadyPrims())
+          joinLevel(Level + 1);
+        trailUndo(Mark);
+      }
+      GroupStart = GroupEnd;
+    }
+    Exec.Lo = SavedLo;
+    Exec.Hi = SavedHi;
+    Exec.Depth = SavedDepth;
+  }
+
   /// Baseline nested-loop join for the ablation study: walks atoms in
   /// declaration order binding variables row by row.
   void naiveLevel(size_t AtomIndex) {
@@ -588,15 +756,16 @@ private:
       return;
     }
     AtomExec &Exec = Atoms[AtomIndex];
+    const uint32_t *Ids = Exec.Rows->data();
     for (size_t R = Exec.Lo; R < Exec.Hi; ++R) {
-      const Value *Row = (*Exec.Rows)[R];
+      uint32_t Row = Ids[R];
       size_t Mark = trailMark();
       bool Alive = true;
       for (const AtomCol &Col : Exec.Cols) {
         // Binding every occurrence both binds the variable and rejects
         // rows whose repeated occurrences disagree.
         for (unsigned Pos : Col.Positions) {
-          if (!bindVar(Col.Var, Row[Pos])) {
+          if (!bindVar(Col.Var, Exec.ColBase[Pos][Row])) {
             Alive = false;
             break;
           }

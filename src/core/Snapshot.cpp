@@ -358,11 +358,13 @@ std::vector<uint8_t> serializeDatabase(const EGraph &G) {
       const Table &T = *G.function(F).Storage;
       S.putU64(T.liveCount());
       unsigned Width = T.rowWidth();
+      // The on-disk record stays row-major; the columnar table is
+      // transposed at this boundary (a per-row gather), so snapshots from
+      // before the layout change load unchanged.
       for (size_t Row : T.liveRows()) {
         S.putU32(T.stamp(Row));
-        const Value *Cells = T.row(Row);
         for (unsigned I = 0; I < Width; ++I)
-          S.putValue(Cells[I]);
+          S.putValue(T.cell(Row, I));
       }
     }
     appendSection(File, SecTables, S);

@@ -16,6 +16,7 @@
 using namespace egglog;
 
 Table::Table(unsigned NumKeys) : NumKeys(NumKeys) {
+  Columns.resize(rowWidth());
   Slots.assign(16, 0);
   SlotMask = Slots.size() - 1;
 }
@@ -56,10 +57,19 @@ uint64_t Table::hashKeys(const Value *Keys) const {
   return hashMix(Hash);
 }
 
+uint64_t Table::hashRow(size_t Row) const {
+  uint64_t Hash = 1469598103934665603ull;
+  for (unsigned I = 0; I < NumKeys; ++I) {
+    Value V = Columns[I][Row];
+    Hash ^= (static_cast<uint64_t>(V.Sort) << 32) ^ hashMix(V.Bits);
+    Hash *= 1099511628211ull;
+  }
+  return hashMix(Hash);
+}
+
 bool Table::keysEqual(size_t Row, const Value *Keys) const {
-  const Value *Stored = row(Row);
   for (unsigned I = 0; I < NumKeys; ++I)
-    if (Stored[I] != Keys[I])
+    if (Columns[I][Row] != Keys[I])
       return false;
   return true;
 }
@@ -92,8 +102,7 @@ void Table::growIndex() {
   for (uint64_t Entry : OldSlots) {
     if (Entry == 0)
       continue;
-    size_t Row = Entry - 1;
-    uint64_t Hash = hashKeys(row(Row));
+    uint64_t Hash = hashRow(Entry - 1);
     size_t Slot = Hash & SlotMask;
     while (Slots[Slot] != 0)
       Slot = (Slot + 1) & SlotMask;
@@ -105,31 +114,31 @@ void Table::indexInsert(size_t Row) {
   // Keep load factor under 70%.
   if ((NumLive + 1) * 10 >= Slots.size() * 7)
     growIndex();
-  uint64_t Hash = hashKeys(row(Row));
+  uint64_t Hash = hashRow(Row);
   size_t Slot = Hash & SlotMask;
   while (Slots[Slot] != 0)
     Slot = (Slot + 1) & SlotMask;
   Slots[Slot] = Row + 1;
 }
 
-void Table::indexErase(const Value *Keys) {
-  // Robin-hood-free open addressing requires backward-shift deletion to
-  // keep probe chains intact.
-  uint64_t Hash = hashKeys(Keys);
-  size_t Slot = Hash & SlotMask;
-  while (true) {
-    uint64_t Entry = Slots[Slot];
-    assert(Entry != 0 && "erasing a key that is not indexed");
-    if (keysEqual(Entry - 1, Keys))
-      break;
+void Table::unlinkRow(size_t Row) {
+  assert(Live[Row] && "killing a dead row");
+  Live[Row] = false;
+  --NumLive;
+  ++Kills;
+  KillLog.push_back(static_cast<uint32_t>(Row));
+  // Locate the slot holding this row. A live row is always indexed, so the
+  // probe chain from its hash must contain it.
+  size_t Slot = hashRow(Row) & SlotMask;
+  while (Slots[Slot] != Row + 1)
     Slot = (Slot + 1) & SlotMask;
-  }
-  // Backward-shift: walk the cluster and move entries whose ideal slot
-  // precedes the vacated hole.
+  // Robin-hood-free open addressing requires backward-shift deletion to
+  // keep probe chains intact: walk the cluster and move entries whose
+  // ideal slot precedes the vacated hole.
   size_t Hole = Slot;
   size_t Probe = (Slot + 1) & SlotMask;
   while (Slots[Probe] != 0) {
-    size_t Ideal = hashKeys(row(Slots[Probe] - 1)) & SlotMask;
+    size_t Ideal = hashRow(Slots[Probe] - 1) & SlotMask;
     // Does the entry at Probe want to live at or before Hole (cyclically)?
     bool CanMove = ((Probe - Ideal) & SlotMask) >= ((Probe - Hole) & SlotMask);
     if (CanMove) {
@@ -141,6 +150,21 @@ void Table::indexErase(const Value *Keys) {
   Slots[Hole] = 0;
 }
 
+size_t Table::appendRow(const Value *Keys, Value Out, uint32_t Stamp) {
+  size_t NewRow = Stamps.size();
+  for (unsigned I = 0; I < NumKeys; ++I)
+    Columns[I].push_back(Keys[I]);
+  Columns[NumKeys].push_back(Out);
+  if (!Stamps.empty() && Stamp < Stamps.back())
+    StampsSorted = false;
+  Stamps.push_back(Stamp);
+  Live.push_back(true);
+  ++NumLive;
+  ++Version;
+  indexInsert(NewRow);
+  return NewRow;
+}
+
 std::optional<Value> Table::insert(const Value *Keys, Value Out,
                                    uint32_t Stamp) {
   int64_t Existing = findRow(Keys);
@@ -149,35 +173,13 @@ std::optional<Value> Table::insert(const Value *Keys, Value Out,
     Value Old = output(Row);
     if (Old == Out)
       return std::nullopt;
-    // Kill the old row and unlink it from the index, then fall through to
-    // append a refreshed row.
-    Live[Row] = false;
-    --NumLive;
-    ++Kills;
-    KillLog.push_back(static_cast<uint32_t>(Row));
-    indexErase(Keys);
-    size_t NewRow = Stamps.size();
-    Cells.insert(Cells.end(), Keys, Keys + NumKeys);
-    Cells.push_back(Out);
-    if (!Stamps.empty() && Stamp < Stamps.back())
-      StampsSorted = false;
-    Stamps.push_back(Stamp);
-    Live.push_back(true);
-    ++NumLive;
-    ++Version;
-    indexInsert(NewRow);
+    // Kill the old row and unlink it from the index, then append a
+    // refreshed row.
+    unlinkRow(Row);
+    appendRow(Keys, Out, Stamp);
     return Old;
   }
-  size_t NewRow = Stamps.size();
-  Cells.insert(Cells.end(), Keys, Keys + NumKeys);
-  Cells.push_back(Out);
-  if (!Stamps.empty() && Stamp < Stamps.back())
-    StampsSorted = false;
-  Stamps.push_back(Stamp);
-  Live.push_back(true);
-  ++NumLive;
-  ++Version;
-  indexInsert(NewRow);
+  appendRow(Keys, Out, Stamp);
   return std::nullopt;
 }
 
@@ -185,14 +187,14 @@ bool Table::erase(const Value *Keys) {
   int64_t Existing = findRow(Keys);
   if (Existing < 0)
     return false;
-  size_t Row = static_cast<size_t>(Existing);
-  Live[Row] = false;
-  --NumLive;
-  ++Kills;
-  KillLog.push_back(static_cast<uint32_t>(Row));
+  unlinkRow(static_cast<size_t>(Existing));
   ++Version;
-  indexErase(Keys);
   return true;
+}
+
+void Table::eraseRow(size_t Row) {
+  unlinkRow(Row);
+  ++Version;
 }
 
 void Table::catchUpOccurrences() {
@@ -200,9 +202,8 @@ void Table::catchUpOccurrences() {
   for (size_t Row = OccTracked; Row < Rows; ++Row) {
     if (!Live[Row])
       continue; // died before any rebuild could need it
-    const Value *Cells = row(Row);
     for (unsigned Col : IdColumns) {
-      uint64_t Id = Cells[Col].Bits;
+      uint64_t Id = Columns[Col][Row].Bits;
       if (Id >= OccHead.size()) {
         // Ids are dense union-find indexes; grow geometrically so repeated
         // fresh ids stay amortized-constant.
@@ -252,9 +253,27 @@ Table::Snapshot Table::snapshot() const {
   return S;
 }
 
+void Table::rebuildSlots(size_t Rows) {
+  size_t MinSlots = 16;
+  while (NumLive * 10 >= MinSlots * 7)
+    MinSlots *= 2;
+  Slots.assign(MinSlots, 0);
+  SlotMask = Slots.size() - 1;
+  for (size_t Row = 0; Row < Rows; ++Row) {
+    if (!Live[Row])
+      continue;
+    uint64_t Hash = hashRow(Row);
+    size_t Slot = Hash & SlotMask;
+    while (Slots[Slot] != 0)
+      Slot = (Slot + 1) & SlotMask;
+    Slots[Slot] = Row + 1;
+  }
+}
+
 void Table::restore(const Snapshot &S) {
   assert(S.Rows <= Stamps.size() && "snapshot is from a different table");
-  Cells.resize(S.Rows * rowWidth());
+  for (std::vector<Value> &Col : Columns)
+    Col.resize(S.Rows);
   Stamps.resize(S.Rows);
   Live = S.Live;
   NumLive = S.NumLive;
@@ -268,20 +287,7 @@ void Table::restore(const Snapshot &S) {
   ++Resets;
 
   // Rebuild the open-addressing key index from the restored live rows.
-  size_t MinSlots = 16;
-  while (NumLive * 10 >= MinSlots * 7)
-    MinSlots *= 2;
-  Slots.assign(MinSlots, 0);
-  SlotMask = Slots.size() - 1;
-  for (size_t Row = 0; Row < S.Rows; ++Row) {
-    if (!Live[Row])
-      continue;
-    uint64_t Hash = hashKeys(row(Row));
-    size_t Slot = Hash & SlotMask;
-    while (Slots[Slot] != 0)
-      Slot = (Slot + 1) & SlotMask;
-    Slots[Slot] = Row + 1;
-  }
+  rebuildSlots(S.Rows);
 
   // Resurrected rows violate the indexes' "rows only die" refresh
   // assumption, so drop every cached column index outright. The occurrence
@@ -319,7 +325,8 @@ void Table::rollbackTo(const TxnMark &M) {
     if (KillLog[K] < M.Rows)
       Live[KillLog[K]] = true;
   KillLog.resize(M.KillLogSize);
-  Cells.resize(M.Rows * rowWidth());
+  for (std::vector<Value> &Col : Columns)
+    Col.resize(M.Rows);
   Stamps.resize(M.Rows);
   Live.resize(M.Rows);
   NumLive = M.NumLive;
@@ -331,35 +338,27 @@ void Table::rollbackTo(const TxnMark &M) {
   // Same derived-state reset as restore(): rebuild the key index from the
   // surviving live rows and drop incremental consumers (resurrection
   // breaks their monotone-death assumptions).
-  size_t MinSlots = 16;
-  while (NumLive * 10 >= MinSlots * 7)
-    MinSlots *= 2;
-  Slots.assign(MinSlots, 0);
-  SlotMask = Slots.size() - 1;
-  for (size_t Row = 0; Row < M.Rows; ++Row) {
-    if (!Live[Row])
-      continue;
-    uint64_t Hash = hashKeys(row(Row));
-    size_t Slot = Hash & SlotMask;
-    while (Slots[Slot] != 0)
-      Slot = (Slot + 1) & SlotMask;
-    Slots[Slot] = Row + 1;
-  }
+  rebuildSlots(M.Rows);
   if (Indexes)
     Indexes->invalidate();
 }
 
 size_t Table::approxBytes() const {
-  return Cells.capacity() * sizeof(Value) +
-         Stamps.capacity() * sizeof(uint32_t) + Live.capacity() / 8 +
-         KillLog.capacity() * sizeof(uint32_t) +
-         Slots.capacity() * sizeof(uint64_t) +
-         OccHead.capacity() * sizeof(int32_t) +
-         OccPool.capacity() * sizeof(OccNode);
+  size_t Bytes = Stamps.capacity() * sizeof(uint32_t) + Live.capacity() / 8 +
+                 KillLog.capacity() * sizeof(uint32_t) +
+                 Slots.capacity() * sizeof(uint64_t) +
+                 OccHead.capacity() * sizeof(int32_t) +
+                 OccPool.capacity() * sizeof(OccNode);
+  for (const std::vector<Value> &Col : Columns)
+    Bytes += Col.capacity() * sizeof(Value);
+  if (Indexes)
+    Bytes += Indexes->approxBytes();
+  return Bytes;
 }
 
 void Table::clear() {
-  Cells.clear();
+  for (std::vector<Value> &Col : Columns)
+    Col.clear();
   Stamps.clear();
   Live.clear();
   NumLive = 0;

@@ -13,6 +13,13 @@
 /// i is exactly the live suffix of rows appended during iteration i
 /// (Algorithm 1 of the paper).
 ///
+/// Storage is column-major: one contiguous Value array per term position
+/// (keys, then the output), like the source paper's reference
+/// implementation. The generic join compares one column of many rows at a
+/// time, so a column-major layout turns its inner loops into cache-linear
+/// scans instead of strided row-major loads; see DESIGN.md "Columnar
+/// storage and vectorized joins".
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EGGLOG_CORE_TABLE_H
@@ -210,9 +217,27 @@ public:
     return Count;
   }
 
-  /// Pointer to the first value of a row (NumKeys keys then the output).
-  const Value *row(size_t Row) const { return &Cells[Row * rowWidth()]; }
-  Value output(size_t Row) const { return Cells[Row * rowWidth() + NumKeys]; }
+  /// The value at (row, column). Columns are the NumKeys key positions
+  /// then the output at index NumKeys.
+  Value cell(size_t Row, unsigned Col) const { return Columns[Col][Row]; }
+  Value output(size_t Row) const { return Columns[NumKeys][Row]; }
+
+  /// Base pointer of one column's contiguous value array. Stable for as
+  /// long as the table is not mutated (an append may reallocate).
+  const Value *column(unsigned Col) const { return Columns[Col].data(); }
+
+  /// Base pointer of the stamp column (parallel to every value column).
+  const uint32_t *stampColumn() const { return Stamps.data(); }
+
+  /// Gathers row \p Row into \p Out (rowWidth() values: keys then output).
+  void copyRow(size_t Row, Value *Out) const {
+    for (unsigned I = 0; I < rowWidth(); ++I)
+      Out[I] = Columns[I][Row];
+  }
+
+  /// Kills a live row by index: same effect as erase() on its keys, but
+  /// without re-probing the hash index by key tuple.
+  void eraseRow(size_t Row);
 
   /// Clears all rows (used by `pop`-less resets in tests).
   void clear();
@@ -268,7 +293,9 @@ public:
 
 private:
   unsigned NumKeys;
-  std::vector<Value> Cells;
+  /// Column-major row storage: Columns[C][R] is the value of term position
+  /// C in row R. rowWidth() arrays, allocated at construction.
+  std::vector<std::vector<Value>> Columns;
   std::vector<uint32_t> Stamps;
   std::vector<bool> Live;
   size_t NumLive = 0;
@@ -318,10 +345,20 @@ private:
   size_t SlotMask = 0;
 
   uint64_t hashKeys(const Value *Keys) const;
+  /// hashKeys over the stored key columns of \p Row.
+  uint64_t hashRow(size_t Row) const;
   bool keysEqual(size_t Row, const Value *Keys) const;
+  /// Appends (Keys..., Out) as a fresh live row and links it into the hash
+  /// index; shared by both insert() arms.
+  size_t appendRow(const Value *Keys, Value Out, uint32_t Stamp);
+  /// Kill bookkeeping shared by erase()/eraseRow()/insert()'s update arm:
+  /// flips liveness, journals the kill, and unlinks the hash-index slot
+  /// (backward-shift deletion). Does not bump Version.
+  void unlinkRow(size_t Row);
+  /// Rebuilds the hash index from the live rows in [0, Rows).
+  void rebuildSlots(size_t Rows);
   void growIndex();
   void indexInsert(size_t Row);
-  void indexErase(const Value *Keys);
 };
 
 } // namespace egglog

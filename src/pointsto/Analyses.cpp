@@ -134,6 +134,7 @@ AnalysisResult runEgglog(const Program &P, bool SemiNaive,
   Result.TimedOut = Report.TimedOut;
   if (Result.TimedOut)
     return Result;
+  Result.ContentHash = G.liveContentHash();
 
   // Extract the allocation partition: group allocation ids by the
   // canonical Obj of objOf.
@@ -141,9 +142,8 @@ AnalysisResult runEgglog(const Program &P, bool SemiNaive,
   std::unordered_map<uint64_t, uint32_t> ClassMin;
   const Table &ObjTable = *G.function(ObjOf).Storage;
   for (size_t Row : ObjTable.liveRows()) {
-    const Value *Cells = ObjTable.row(Row);
-    uint32_t A = static_cast<uint32_t>(G.valueToI64(Cells[0]));
-    uint64_t Class = G.canonicalize(Cells[1]).Bits;
+    uint32_t A = static_cast<uint32_t>(G.valueToI64(ObjTable.cell(Row, 0)));
+    uint64_t Class = G.canonicalize(ObjTable.cell(Row, 1)).Bits;
     auto [It, Fresh] = ClassMin.emplace(Class, A);
     if (!Fresh)
       It->second = std::min(It->second, A);
@@ -151,9 +151,8 @@ AnalysisResult runEgglog(const Program &P, bool SemiNaive,
   for (uint32_t A = 0; A < P.numAllAllocs(); ++A)
     Result.AllocClass[A] = A;
   for (size_t Row : ObjTable.liveRows()) {
-    const Value *Cells = ObjTable.row(Row);
-    uint32_t A = static_cast<uint32_t>(G.valueToI64(Cells[0]));
-    Result.AllocClass[A] = ClassMin[G.canonicalize(Cells[1]).Bits];
+    uint32_t A = static_cast<uint32_t>(G.valueToI64(ObjTable.cell(Row, 0)));
+    Result.AllocClass[A] = ClassMin[G.canonicalize(ObjTable.cell(Row, 1)).Bits];
   }
   Result.VptSize = G.functionSize(Vpt);
   return Result;

@@ -70,6 +70,11 @@ struct AnalysisResult {
   /// Read-only catch-up/gather share of RebuildSeconds (multi-threaded
   /// runs only).
   double RebuildGatherSeconds = 0;
+  /// Order-independent hash of the engine's live database content after
+  /// the run (egglog systems only, zero on timeout): the differential
+  /// oracle that lets bench artifacts from different commits certify they
+  /// computed the same fixpoint.
+  uint64_t ContentHash = 0;
   /// For each allocation id (base + field), the smallest allocation id it
   /// is equivalent to.
   std::vector<uint32_t> AllocClass;

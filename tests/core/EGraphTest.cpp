@@ -269,7 +269,7 @@ TEST_P(RebuildPropertyTest, RebuildInvariants) {
     for (size_t Row = 0; Row < T.rowCount(); ++Row) {
       if (!T.isLive(Row))
         continue;
-      const Value *Cells = T.row(Row);
+      Value Cells[2] = {T.cell(Row, 0), T.cell(Row, 1)};
       // (1) canonical values everywhere.
       EXPECT_EQ(G.canonicalize(Cells[0]), Cells[0]);
       EXPECT_EQ(G.canonicalize(Cells[1]), Cells[1]);

@@ -153,3 +153,146 @@ TEST_P(TablePropertyTest, MatchesMapOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TablePropertyTest,
                          ::testing::Values(5u, 6u, 7u, 8u));
+
+//===----------------------------------------------------------------------===
+// Columnar storage
+//===----------------------------------------------------------------------===
+
+TEST(TableColumnarTest, CellColumnAndCopyRowAgree) {
+  Table T(2);
+  for (uint64_t I = 0; I < 64; ++I) {
+    Value Keys[2] = {v(I), v(I * 3)};
+    T.insert(Keys, v(I * 7), static_cast<uint32_t>(I));
+  }
+  ASSERT_EQ(T.rowCount(), 64u);
+  for (size_t Row = 0; Row < T.rowCount(); ++Row) {
+    EXPECT_EQ(T.cell(Row, 0).Bits, Row);
+    EXPECT_EQ(T.cell(Row, 1).Bits, Row * 3);
+    EXPECT_EQ(T.cell(Row, 2).Bits, Row * 7);
+    EXPECT_EQ(T.output(Row).Bits, Row * 7);
+    Value Out[3];
+    T.copyRow(Row, Out);
+    for (unsigned C = 0; C < 3; ++C)
+      EXPECT_TRUE(Out[C] == T.cell(Row, C));
+  }
+  // column() exposes each position as one contiguous array: indexing the
+  // base pointer by row must agree with cell() for every position.
+  for (unsigned C = 0; C < T.rowWidth(); ++C) {
+    const Value *Col = T.column(C);
+    for (size_t Row = 0; Row < T.rowCount(); ++Row)
+      EXPECT_TRUE(Col[Row] == T.cell(Row, C));
+  }
+  const uint32_t *Stamps = T.stampColumn();
+  for (size_t Row = 0; Row < T.rowCount(); ++Row)
+    EXPECT_EQ(Stamps[Row], T.stamp(Row));
+}
+
+TEST(TableColumnarTest, EraseRowMatchesEraseByKey) {
+  Table A(1), B(1);
+  for (uint64_t I = 0; I < 100; ++I) {
+    Value Key[1] = {v(I)};
+    A.insert(Key, v(I + 1), 0);
+    B.insert(Key, v(I + 1), 0);
+  }
+  // Kill every third key: by key tuple in A, by row index in B.
+  for (uint64_t I = 0; I < 100; I += 3) {
+    Value Key[1] = {v(I)};
+    EXPECT_TRUE(A.erase(Key));
+    int64_t Row = B.findRow(Key);
+    ASSERT_GE(Row, 0);
+    B.eraseRow(static_cast<size_t>(Row));
+  }
+  EXPECT_EQ(A.liveCount(), B.liveCount());
+  EXPECT_EQ(A.killCount(), B.killCount());
+  EXPECT_EQ(A.version(), B.version());
+  for (uint64_t I = 0; I < 100; ++I) {
+    Value Key[1] = {v(I)};
+    EXPECT_EQ(A.lookup(Key).has_value(), B.lookup(Key).has_value());
+    EXPECT_EQ(B.lookup(Key).has_value(), I % 3 != 0);
+  }
+}
+
+TEST(TableColumnarTest, RollbackResurrectsAndTruncatesColumns) {
+  Table T(1);
+  for (uint64_t I = 0; I < 50; ++I) {
+    Value Key[1] = {v(I)};
+    T.insert(Key, v(I), 0);
+  }
+  Table::TxnMark Mark = T.txnMark();
+  // Update (kill + append), erase, and fresh-append past the mark.
+  for (uint64_t I = 0; I < 50; I += 2) {
+    Value Key[1] = {v(I)};
+    T.insert(Key, v(I + 1000), 1);
+  }
+  for (uint64_t I = 1; I < 50; I += 4) {
+    Value Key[1] = {v(I)};
+    T.erase(Key);
+  }
+  for (uint64_t I = 100; I < 120; ++I) {
+    Value Key[1] = {v(I)};
+    T.insert(Key, v(I), 1);
+  }
+  T.rollbackTo(Mark);
+  EXPECT_EQ(T.rowCount(), 50u) << "appended rows truncated";
+  EXPECT_EQ(T.liveCount(), 50u) << "killed rows resurrected";
+  for (uint64_t I = 0; I < 50; ++I) {
+    Value Key[1] = {v(I)};
+    auto Found = T.lookup(Key);
+    ASSERT_TRUE(Found.has_value()) << "key " << I;
+    EXPECT_EQ(Found->Bits, I) << "pre-mark output restored";
+  }
+  Value Fresh[1] = {v(100)};
+  EXPECT_FALSE(T.lookup(Fresh).has_value());
+}
+
+TEST(TableColumnarTest, SnapshotRestoreRoundTrip) {
+  Table T(2);
+  for (uint64_t I = 0; I < 40; ++I) {
+    Value Keys[2] = {v(I), v(I * 2)};
+    T.insert(Keys, v(I * 5), static_cast<uint32_t>(I / 10));
+  }
+  for (uint64_t I = 0; I < 40; I += 5) {
+    Value Keys[2] = {v(I), v(I * 2)};
+    T.erase(Keys);
+  }
+  Table::Snapshot S = T.snapshot();
+  size_t LiveAtSnap = T.liveCount();
+  // Mutate heavily past the snapshot.
+  for (uint64_t I = 0; I < 40; ++I) {
+    Value Keys[2] = {v(I), v(I * 2)};
+    T.insert(Keys, v(I * 5 + 1), 9);
+  }
+  for (uint64_t I = 200; I < 230; ++I) {
+    Value Keys[2] = {v(I), v(I)};
+    T.insert(Keys, v(I), 9);
+  }
+  T.restore(S);
+  EXPECT_EQ(T.rowCount(), S.Rows);
+  EXPECT_EQ(T.liveCount(), LiveAtSnap);
+  for (uint64_t I = 0; I < 40; ++I) {
+    Value Keys[2] = {v(I), v(I * 2)};
+    auto Found = T.lookup(Keys);
+    if (I % 5 == 0) {
+      EXPECT_FALSE(Found.has_value()) << "erased key " << I << " stays dead";
+    } else {
+      ASSERT_TRUE(Found.has_value()) << "key " << I;
+      EXPECT_EQ(Found->Bits, I * 5) << "pre-snapshot output restored";
+    }
+  }
+  Value Fresh[2] = {v(200), v(200)};
+  EXPECT_FALSE(T.lookup(Fresh).has_value());
+}
+
+TEST(TableColumnarTest, ApproxBytesTracksColumnPayload) {
+  Table T(3);
+  size_t Empty = T.approxBytes();
+  for (uint64_t I = 0; I < 2000; ++I) {
+    Value Keys[3] = {v(I), v(I + 1), v(I + 2)};
+    T.insert(Keys, v(I * 2), 0);
+  }
+  size_t Filled = T.approxBytes();
+  // Four value columns of 2000 rows is the hard floor; the accounting must
+  // cover at least the column payload plus stamps and the hash index.
+  EXPECT_GE(Filled, Empty + 4 * 2000 * sizeof(Value));
+  EXPECT_GE(Filled, 2000 * (4 * sizeof(Value) + sizeof(uint32_t)));
+}
