@@ -1,0 +1,249 @@
+//===- analysis/Lints.cpp - Static program diagnostics --------------------===//
+//
+// Part of egglog-cpp. See Lints.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lints.h"
+
+#include "core/EGraph.h"
+#include "core/Engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace egglog;
+
+std::string LintDiagnostic::render() const {
+  return std::to_string(Line) + ":" + std::to_string(Col) +
+         ": warning: " + Message + " [" + Check + "]";
+}
+
+namespace {
+
+std::string ruleLabel(const Rule &R, size_t Index) {
+  if (!R.Name.empty())
+    return "rule '" + R.Name + "'";
+  return "rule #" + std::to_string(Index + 1);
+}
+
+void diagAtRule(std::vector<LintDiagnostic> &Out, const char *Check,
+                const Rule &R, std::string Message) {
+  Out.push_back(LintDiagnostic{Check, std::move(Message), R.Unit, R.Line,
+                               R.Col});
+}
+
+bool ranFlag(const std::vector<char> &Flags, RulesetId Rs) {
+  return Rs < Flags.size() && Flags[Rs];
+}
+
+/// Non-termination risk: the rule's ruleset is driven by an unguarded
+/// (run ...) and some action mints fresh ids for a function in the same
+/// dependency-graph SCC as a function the query reads — each firing feeds
+/// its own query new tuples, so saturation never arrives.
+void lintNonTermination(std::vector<LintDiagnostic> &Out, const Engine &Eng,
+                        const EGraph &Graph, const RuleGraph &RG,
+                        const LintContext &Ctx) {
+  for (const RuleFacts &Facts : RG.Rules) {
+    const Rule &R = Eng.rule(Facts.RuleIndex);
+    if (!ranFlag(Ctx.RulesetRanUnguarded, R.Ruleset))
+      continue;
+    for (FunctionId Mint : Facts.Mints) {
+      const FunctionId *Feed = nullptr;
+      for (const FunctionId &Read : Facts.Reads)
+        if (RG.Funcs.sameScc(Mint, Read)) {
+          Feed = &Read;
+          break;
+        }
+      if (!Feed)
+        continue;
+      diagAtRule(Out, "non-termination", R,
+                 ruleLabel(R, Facts.RuleIndex) + " mints fresh '" +
+                     Graph.function(Mint).Decl.Name +
+                     "' terms that feed its own query via '" +
+                     Graph.function(*Feed).Decl.Name +
+                     "'; bound the run with a count or :until");
+      break;
+    }
+  }
+}
+
+/// Dead rules: least fixpoint of "fireable". A function is populated if it
+/// has live tuples now (base facts) or a fireable rule writes it; a rule is
+/// fireable once every function its query reads is populated. Rules outside
+/// the fixpoint can never fire, no matter the schedule. Gated on SawAnyRun:
+/// a library file with rules but no run form expects a later driver to
+/// supply both facts and schedule, and flagging its rules would be noise.
+void lintDeadRules(std::vector<LintDiagnostic> &Out, const Engine &Eng,
+                   const EGraph &Graph, const RuleGraph &RG,
+                   const LintContext &Ctx) {
+  if (!Ctx.SawAnyRun)
+    return;
+  std::vector<char> Populated(Graph.numFunctions(), 0);
+  for (FunctionId F = 0; F < Graph.numFunctions(); ++F)
+    if (Graph.functionSize(F) > 0)
+      Populated[F] = 1;
+
+  std::vector<char> Fireable(RG.Rules.size(), 0);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < RG.Rules.size(); ++I) {
+      if (Fireable[I])
+        continue;
+      const RuleFacts &Facts = RG.Rules[I];
+      bool AllPopulated = true;
+      for (FunctionId Read : Facts.Reads)
+        if (!Populated[Read]) {
+          AllPopulated = false;
+          break;
+        }
+      if (!AllPopulated)
+        continue;
+      Fireable[I] = 1;
+      Changed = true;
+      for (FunctionId Write : Facts.Writes)
+        Populated[Write] = 1;
+    }
+  }
+
+  for (size_t I = 0; I < RG.Rules.size(); ++I) {
+    if (Fireable[I])
+      continue;
+    const RuleFacts &Facts = RG.Rules[I];
+    const Rule &R = Eng.rule(Facts.RuleIndex);
+    FunctionId Missing = 0;
+    for (FunctionId Read : Facts.Reads)
+      if (!Populated[Read]) {
+        Missing = Read;
+        break;
+      }
+    diagAtRule(Out, "dead-rule", R,
+               ruleLabel(R, Facts.RuleIndex) + " can never fire: '" +
+                   Graph.function(Missing).Decl.Name +
+                   "' has no producing rule and no facts");
+  }
+}
+
+/// Unused rulesets and rules shadowed by the schedule: once the program
+/// contains a run form, every named ruleset should be selected by one, and
+/// rules left in the default ruleset are unreachable if nothing runs it.
+void lintReachability(std::vector<LintDiagnostic> &Out, const Engine &Eng,
+                      const RuleGraph &RG, const LintContext &Ctx) {
+  if (!Ctx.SawAnyRun)
+    return;
+  for (RulesetId Rs = 1; Rs < Eng.numRulesets(); ++Rs) {
+    if (ranFlag(Ctx.RulesetRan, Rs))
+      continue;
+    size_t Count = 0;
+    for (const RuleFacts &Facts : RG.Rules)
+      if (Eng.rule(Facts.RuleIndex).Ruleset == Rs)
+        ++Count;
+    SourceSpan Span;
+    if (Rs < Ctx.RulesetDecls.size())
+      Span = Ctx.RulesetDecls[Rs];
+    Out.push_back(LintDiagnostic{
+        "unused-ruleset",
+        "ruleset '" + Eng.rulesetName(Rs) + "' is never run (" +
+            std::to_string(Count) + " rule" + (Count == 1 ? "" : "s") +
+            " unreachable)",
+        Span.Unit, Span.Line, Span.Col});
+  }
+  if (!ranFlag(Ctx.RulesetRan, 0)) {
+    for (const RuleFacts &Facts : RG.Rules) {
+      const Rule &R = Eng.rule(Facts.RuleIndex);
+      if (R.Ruleset != 0)
+        continue;
+      diagAtRule(Out, "shadowed-rule", R,
+                 ruleLabel(R, Facts.RuleIndex) +
+                     " is in the default ruleset, which no (run ...) or "
+                     "(run-schedule ...) form selects");
+    }
+  }
+}
+
+/// Write-only variables: a let-bound action variable that no later
+/// expression reads binds a value for nothing (its side effect of
+/// inserting terms still happens, which is usually the confusion). Query
+/// variables are excluded — their binding occurrence in an atom is itself
+/// a use — and unbound action variables are already type errors.
+/// Underscore-prefixed names are exempt by convention.
+void lintUnusedVariables(std::vector<LintDiagnostic> &Out, const Engine &Eng,
+                         const RuleGraph &RG) {
+  for (const RuleFacts &Facts : RG.Rules) {
+    const Rule &R = Eng.rule(Facts.RuleIndex);
+    for (uint32_t Slot = R.Body.NumVars; Slot < R.VarNames.size(); ++Slot) {
+      const std::string &Name = R.VarNames[Slot];
+      if (Name.empty() || Name[0] == '_')
+        continue;
+      uint32_t Uses =
+          Slot < Facts.SlotUses.size() ? Facts.SlotUses[Slot] : 0;
+      if (Uses == 0)
+        diagAtRule(Out, "unused-variable", R,
+                   "let-bound variable '" + Name + "' in " +
+                       ruleLabel(R, Facts.RuleIndex) + " is never used");
+    }
+  }
+}
+
+/// True if a :merge expression is idempotent-shaped: merge(x, x) == x holds
+/// structurally. Selecting one of the operands trivially qualifies, as does
+/// a single application of a known-idempotent binary primitive to the two
+/// merge slots (old = slot 0, new = slot 1).
+bool mergeLooksIdempotent(const TypedExpr &Merge, const EGraph &Graph) {
+  if (Merge.ExprKind == TypedExpr::Kind::Var)
+    return true;
+  if (Merge.ExprKind != TypedExpr::Kind::PrimCall || Merge.Args.size() != 2)
+    return false;
+  const std::string &Name = Graph.primitives().get(Merge.Index).Name;
+  static const char *Idempotent[] = {"min", "max", "and", "or",
+                                     "set-union", "set-intersect"};
+  bool Known = false;
+  for (const char *Candidate : Idempotent)
+    Known |= Name == Candidate;
+  if (!Known)
+    return false;
+  const TypedExpr &A = Merge.Args[0], &B = Merge.Args[1];
+  return A.ExprKind == TypedExpr::Kind::Var &&
+         B.ExprKind == TypedExpr::Kind::Var && A.Index != B.Index;
+}
+
+/// Merge-lattice warnings: a function whose :merge is not idempotent-shaped
+/// and that some rule reads. Re-merging equal values then changes the
+/// stored output (e.g. (+ old new) doubles it), so rules reading the
+/// function observe values that depend on merge order and count —
+/// saturation and confluence are both off the table.
+void lintMergeLattice(std::vector<LintDiagnostic> &Out, const EGraph &Graph,
+                      const RuleGraph &RG) {
+  std::unordered_set<FunctionId> ReadByRules;
+  for (const RuleFacts &Facts : RG.Rules)
+    ReadByRules.insert(Facts.Reads.begin(), Facts.Reads.end());
+  for (FunctionId F = 0; F < Graph.numFunctions(); ++F) {
+    const FunctionDecl &Decl = Graph.function(F).Decl;
+    if (!Decl.MergeExpr || !ReadByRules.count(F))
+      continue;
+    if (mergeLooksIdempotent(*Decl.MergeExpr, Graph))
+      continue;
+    Out.push_back(LintDiagnostic{
+        "merge-not-idempotent",
+        "function '" + Decl.Name +
+            "' is read by rules but its :merge is not idempotent-shaped "
+            "(e.g. (max old new)); merged values depend on merge order",
+        Decl.Unit, Decl.Line, Decl.Col});
+  }
+}
+
+} // namespace
+
+std::vector<LintDiagnostic> egglog::runLints(const Engine &Eng,
+                                             const EGraph &Graph,
+                                             const RuleGraph &RG,
+                                             const LintContext &Ctx) {
+  std::vector<LintDiagnostic> Out;
+  lintNonTermination(Out, Eng, Graph, RG, Ctx);
+  lintDeadRules(Out, Eng, Graph, RG, Ctx);
+  lintReachability(Out, Eng, RG, Ctx);
+  lintUnusedVariables(Out, Eng, RG);
+  lintMergeLattice(Out, Graph, RG);
+  return Out;
+}

@@ -1,0 +1,87 @@
+//===- analysis/Lints.h - Static program diagnostics -----------*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md ("Static program analysis") for the
+// soundness argument behind each check.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lint checks over the rule dependency graph (analysis/RuleGraph.h):
+/// non-termination risk, dead rules, unused rulesets and schedule-shadowed
+/// rules, write-only (never-read) let variables, and non-idempotent :merge
+/// expressions. Every diagnostic carries a check id (stable kebab-case,
+/// rendered as "[check-name]"), a source span, and the source-unit label it
+/// was declared under, so the egglog_lint / egglog_run --lint tools can
+/// print "file:line:col: warning: message [check]" lines matching the
+/// error-reporting contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_ANALYSIS_LINTS_H
+#define EGGLOG_ANALYSIS_LINTS_H
+
+#include "analysis/RuleGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace egglog {
+
+class EGraph;
+class Engine;
+
+/// One lint finding. Line/Col are 1-based; 0 means no source location (a
+/// rule or declaration built from C++).
+struct LintDiagnostic {
+  /// Stable check id: "non-termination", "dead-rule", "unused-ruleset",
+  /// "shadowed-rule", "unused-variable", or "merge-not-idempotent".
+  std::string Check;
+  std::string Message;
+  /// Source-unit label (file path) active when the offending form was
+  /// declared; empty when unknown.
+  std::string Unit;
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  /// The span + message part of the diagnostic line, without the unit
+  /// label: "line:col: warning: message [check]".
+  std::string render() const;
+};
+
+/// A source location recorded outside the rule table (ruleset declarations).
+struct SourceSpan {
+  std::string Unit;
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// Schedule facts the Frontend records while interpreting a program; the
+/// reachability lints need to know which rulesets any (run ...) /
+/// (run-schedule ...) form selects, and whether a run was "unguarded"
+/// (no explicit iteration bound and no :until goal).
+struct LintContext {
+  /// Indexed by RulesetId: the ruleset was selected by some run form.
+  std::vector<char> RulesetRan;
+  /// Indexed by RulesetId: selected by a top-level (run ...) with neither
+  /// an explicit count nor :until — run-to-saturation intent, the only
+  /// shape where unbounded growth turns into non-termination.
+  std::vector<char> RulesetRanUnguarded;
+  /// False until the program contains any run form; the reachability lints
+  /// stay silent on pure library files that declare rules for a later
+  /// driver to run.
+  bool SawAnyRun = false;
+  /// Declaration spans per RulesetId (index 0, the default ruleset, has no
+  /// declaring form and stays zero).
+  std::vector<SourceSpan> RulesetDecls;
+};
+
+/// Runs every lint over the declared program. \p RG must have been built
+/// from the same Engine/EGraph pair. Diagnostics come out grouped by check
+/// in the order above, each group in declaration order.
+std::vector<LintDiagnostic> runLints(const Engine &Eng, const EGraph &Graph,
+                                     const RuleGraph &RG,
+                                     const LintContext &Ctx);
+
+} // namespace egglog
+
+#endif // EGGLOG_ANALYSIS_LINTS_H

@@ -1,0 +1,235 @@
+//===- analysis/RuleGraph.cpp - Rule/function dependency graph ------------===//
+//
+// Part of egglog-cpp. See RuleGraph.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RuleGraph.h"
+
+#include "core/EGraph.h"
+#include "core/Engine.h"
+
+#include <algorithm>
+
+using namespace egglog;
+
+//===----------------------------------------------------------------------===
+// DepGraph: Tarjan SCC + condensation strata
+//===----------------------------------------------------------------------===
+
+void DepGraph::resize(size_t NumNodes) { Succ.resize(NumNodes); }
+
+void DepGraph::addEdge(uint32_t From, uint32_t To) {
+  Succ[From].push_back(To);
+}
+
+void DepGraph::analyze() {
+  size_t N = Succ.size();
+  SccId.assign(N, UINT32_MAX);
+  Members.clear();
+  Cyclic.clear();
+
+  // Iterative Tarjan. Index/Lowlink share one array; OnStack marks the
+  // Tarjan stack membership.
+  std::vector<uint32_t> Index(N, UINT32_MAX), Lowlink(N, 0);
+  std::vector<char> OnStack(N, 0);
+  std::vector<uint32_t> Stack;
+  uint32_t NextIndex = 0;
+
+  struct Frame {
+    uint32_t Node;
+    size_t NextSucc;
+  };
+  std::vector<Frame> Dfs;
+
+  for (uint32_t Root = 0; Root < N; ++Root) {
+    if (Index[Root] != UINT32_MAX)
+      continue;
+    Dfs.push_back({Root, 0});
+    while (!Dfs.empty()) {
+      Frame &F = Dfs.back();
+      uint32_t V = F.Node;
+      if (F.NextSucc == 0) {
+        Index[V] = Lowlink[V] = NextIndex++;
+        Stack.push_back(V);
+        OnStack[V] = 1;
+      }
+      if (F.NextSucc < Succ[V].size()) {
+        uint32_t W = Succ[V][F.NextSucc++];
+        if (Index[W] == UINT32_MAX)
+          Dfs.push_back({W, 0});
+        else if (OnStack[W])
+          Lowlink[V] = std::min(Lowlink[V], Index[W]);
+        continue;
+      }
+      // All successors explored: close the SCC if V is a root.
+      if (Lowlink[V] == Index[V]) {
+        uint32_t Scc = static_cast<uint32_t>(Members.size());
+        Members.emplace_back();
+        for (;;) {
+          uint32_t W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = 0;
+          SccId[W] = Scc;
+          Members.back().push_back(W);
+          if (W == V)
+            break;
+        }
+      }
+      Dfs.pop_back();
+      if (!Dfs.empty()) {
+        uint32_t Parent = Dfs.back().Node;
+        Lowlink[Parent] = std::min(Lowlink[Parent], Lowlink[V]);
+      }
+    }
+  }
+
+  // Cyclic SCCs: more than one member, or a self-loop.
+  Cyclic.assign(Members.size(), 0);
+  for (uint32_t Scc = 0; Scc < Members.size(); ++Scc)
+    if (Members[Scc].size() > 1)
+      Cyclic[Scc] = 1;
+  for (uint32_t V = 0; V < N; ++V)
+    for (uint32_t W : Succ[V])
+      if (V == W)
+        Cyclic[SccId[V]] = 1;
+
+  // Strata: Tarjan emits SCCs in reverse topological order (an SCC closes
+  // only after everything it reaches has closed), so a cross-SCC edge
+  // u -> v always has SccId[u] > SccId[v]. Walking SCC ids downward is a
+  // topological order; propagate the longest-path layer forward.
+  Strata.assign(Members.size(), 0);
+  NumStrata = Members.empty() ? 0 : 1;
+  for (uint32_t Scc = static_cast<uint32_t>(Members.size()); Scc-- > 0;) {
+    for (uint32_t V : Members[Scc]) {
+      for (uint32_t W : Succ[V]) {
+        uint32_t To = SccId[W];
+        if (To == Scc)
+          continue;
+        Strata[To] = std::max(Strata[To], Strata[Scc] + 1);
+        NumStrata = std::max(NumStrata, Strata[To] + 1);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Per-rule facts
+//===----------------------------------------------------------------------===
+
+namespace {
+
+void sortUnique(std::vector<FunctionId> &Ids) {
+  std::sort(Ids.begin(), Ids.end());
+  Ids.erase(std::unique(Ids.begin(), Ids.end()), Ids.end());
+}
+
+void countTerm(const VarOrConst &Term, RuleFacts &Facts) {
+  if (!Term.IsVar)
+    return;
+  if (Facts.SlotUses.size() <= Term.Var)
+    Facts.SlotUses.resize(Term.Var + 1, 0);
+  ++Facts.SlotUses[Term.Var];
+}
+
+/// True if a get-or-default on \p Func can allocate a fresh id: the output
+/// is an id sort with no :default, and there is at least one key column (a
+/// nullary constructor mints at most one id over the program's lifetime, so
+/// it cannot drive unbounded growth).
+bool canMintFreshIds(FunctionId Func, const EGraph &Graph) {
+  const FunctionDecl &Decl = Graph.function(Func).Decl;
+  return Graph.sorts().isIdSort(Decl.OutSort) && !Decl.DefaultExpr &&
+         !Decl.ArgSorts.empty();
+}
+
+/// Walks an action expression, recording writes, mints, and slot uses.
+/// \p CapturedRoot suppresses the mint classification for the root node
+/// only: the operands of a (union a b) action are typically matched roots
+/// or rewrite results whose insertion is the point of the rule, and the
+/// engine unions them instead of growing a distinct chain.
+void visitActionExpr(const TypedExpr &E, bool CapturedRoot, RuleFacts &Facts,
+                     const EGraph &Graph) {
+  switch (E.ExprKind) {
+  case TypedExpr::Kind::Var:
+    if (Facts.SlotUses.size() <= E.Index)
+      Facts.SlotUses.resize(E.Index + 1, 0);
+    ++Facts.SlotUses[E.Index];
+    return;
+  case TypedExpr::Kind::Lit:
+    return;
+  case TypedExpr::Kind::FuncCall:
+    Facts.Writes.push_back(E.Index);
+    if (!CapturedRoot && canMintFreshIds(E.Index, Graph))
+      Facts.Mints.push_back(E.Index);
+    break;
+  case TypedExpr::Kind::PrimCall:
+    break;
+  }
+  for (const TypedExpr &Arg : E.Args)
+    visitActionExpr(Arg, /*CapturedRoot=*/false, Facts, Graph);
+}
+
+} // namespace
+
+RuleFacts egglog::computeRuleFacts(const Rule &R, const EGraph &Graph) {
+  RuleFacts Facts;
+  Facts.SlotUses.assign(R.NumSlots, 0);
+
+  for (const QueryAtom &Atom : R.Body.Atoms) {
+    Facts.Reads.push_back(Atom.Func);
+    for (const VarOrConst &Term : Atom.Terms)
+      countTerm(Term, Facts);
+  }
+  for (const PrimComputation &Prim : R.Body.Prims) {
+    for (const VarOrConst &Arg : Prim.Args)
+      countTerm(Arg, Facts);
+    countTerm(Prim.Out, Facts);
+  }
+
+  for (const Action &Act : R.Actions) {
+    switch (Act.ActKind) {
+    case Action::Kind::Let:
+    case Action::Kind::Eval:
+      visitActionExpr(Act.Expr, /*CapturedRoot=*/false, Facts, Graph);
+      break;
+    case Action::Kind::Set:
+      Facts.Writes.push_back(Act.Func);
+      for (const TypedExpr &Arg : Act.Args)
+        visitActionExpr(Arg, /*CapturedRoot=*/false, Facts, Graph);
+      visitActionExpr(Act.Expr, /*CapturedRoot=*/false, Facts, Graph);
+      break;
+    case Action::Kind::Union:
+      visitActionExpr(Act.Expr, /*CapturedRoot=*/true, Facts, Graph);
+      visitActionExpr(Act.Expr2, /*CapturedRoot=*/true, Facts, Graph);
+      break;
+    case Action::Kind::Delete:
+      // Deleting shrinks the table; the key expressions can still insert.
+      for (const TypedExpr &Arg : Act.Args)
+        visitActionExpr(Arg, /*CapturedRoot=*/false, Facts, Graph);
+      break;
+    case Action::Kind::Panic:
+      break;
+    }
+  }
+
+  sortUnique(Facts.Reads);
+  sortUnique(Facts.Writes);
+  sortUnique(Facts.Mints);
+  return Facts;
+}
+
+RuleGraph egglog::buildRuleGraph(const Engine &Eng, const EGraph &Graph) {
+  RuleGraph RG;
+  RG.Funcs.resize(Graph.numFunctions());
+  RG.Rules.reserve(Eng.numRules());
+  for (size_t I = 0; I < Eng.numRules(); ++I) {
+    RuleFacts Facts = computeRuleFacts(Eng.rule(I), Graph);
+    Facts.RuleIndex = I;
+    for (FunctionId Read : Facts.Reads)
+      for (FunctionId Write : Facts.Writes)
+        RG.Funcs.addEdge(Read, Write);
+    RG.Rules.push_back(std::move(Facts));
+  }
+  RG.Funcs.analyze();
+  return RG;
+}

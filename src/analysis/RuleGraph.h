@@ -1,0 +1,118 @@
+//===- analysis/RuleGraph.h - Rule/function dependency graph ---*- C++ -*-===//
+//
+// Part of egglog-cpp. See DESIGN.md ("Static program analysis") for the
+// system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static dependency structure of a declared rule program, computed
+/// without executing anything: per-rule read/write/mint sets over the typed
+/// ASTs, and the induced function-level precedence graph with its strongly
+/// connected components and stratification. This is the classic Datalog
+/// predicate dependency graph, extended with "mints" (action positions that
+/// can allocate fresh ids) so termination diagnostics can tell growth from
+/// mere derivation. The lints (analysis/Lints.h) consume it, and ROADMAP
+/// item 5 (demand/magic-set transformation) is expected to reuse it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EGGLOG_ANALYSIS_RULEGRAPH_H
+#define EGGLOG_ANALYSIS_RULEGRAPH_H
+
+#include "core/Ast.h"
+#include "core/Value.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace egglog {
+
+class EGraph;
+class Engine;
+
+/// A directed graph over dense uint32_t node ids with Tarjan SCC
+/// condensation and a stratification (topological layering of the
+/// condensation). Built either from explicit edges (unit tests) or by
+/// buildRuleGraph below.
+class DepGraph {
+public:
+  explicit DepGraph(size_t NumNodes = 0) { resize(NumNodes); }
+
+  void resize(size_t NumNodes);
+  size_t numNodes() const { return Succ.size(); }
+
+  /// Adds the edge From -> To ("To depends on From"). Duplicate edges and
+  /// self-loops are allowed; a self-loop makes the node's SCC cyclic.
+  void addEdge(uint32_t From, uint32_t To);
+
+  /// Computes SCCs and strata. Call once after all edges are added; the
+  /// accessors below are valid only afterwards.
+  void analyze();
+
+  size_t numSccs() const { return Members.size(); }
+  uint32_t sccOf(uint32_t Node) const { return SccId[Node]; }
+  bool sameScc(uint32_t A, uint32_t B) const { return SccId[A] == SccId[B]; }
+  const std::vector<uint32_t> &sccMembers(uint32_t Scc) const {
+    return Members[Scc];
+  }
+  /// True if the SCC contains a cycle: two or more members, or a single
+  /// member with a self-loop. A rule reading and writing functions of a
+  /// cyclic SCC is recursive.
+  bool sccIsCyclic(uint32_t Scc) const { return Cyclic[Scc] != 0; }
+
+  /// Stratum of a node: 0 for nodes whose SCC has no incoming cross-SCC
+  /// edge, else 1 + the maximum stratum among predecessor SCCs. This is the
+  /// longest-path layering of the condensation DAG.
+  unsigned stratumOf(uint32_t Node) const { return Strata[SccId[Node]]; }
+  unsigned numStrata() const { return NumStrata; }
+
+private:
+  std::vector<std::vector<uint32_t>> Succ;
+  std::vector<uint32_t> SccId;
+  std::vector<std::vector<uint32_t>> Members;
+  std::vector<char> Cyclic;
+  std::vector<unsigned> Strata;
+  unsigned NumStrata = 0;
+};
+
+/// Static facts about one declared rule, extracted from its typed AST.
+struct RuleFacts {
+  /// Index of the rule in Engine's rule table.
+  size_t RuleIndex = 0;
+  /// Functions the query reads (atom functions), sorted and deduplicated.
+  std::vector<FunctionId> Reads;
+  /// Functions the actions may insert into: (set ...) targets plus every
+  /// function call anywhere in an action expression (get-or-default creates
+  /// the entry when absent). Sorted and deduplicated.
+  std::vector<FunctionId> Writes;
+  /// The subset of action-side function calls that can allocate a fresh id
+  /// each firing: id-sorted output, no :default, at least one key column,
+  /// and not the captured root of a (union lhs rhs) action (a rewrite's
+  /// root is matched, not minted). Sorted and deduplicated.
+  std::vector<FunctionId> Mints;
+  /// Occurrence count per variable slot across the whole typed rule
+  /// (query atoms, primitive computations, and action expressions; a let's
+  /// defining slot does not count as an occurrence of itself).
+  std::vector<uint32_t> SlotUses;
+};
+
+/// The full static picture of a rule program: the function-level dependency
+/// graph (an edge f -> g for every rule that reads f and writes g) with
+/// SCCs/strata computed, plus per-rule facts parallel to the engine's rule
+/// table.
+struct RuleGraph {
+  DepGraph Funcs;
+  std::vector<RuleFacts> Rules;
+};
+
+/// Extracts RuleFacts from one rule against the declarations in \p Graph.
+RuleFacts computeRuleFacts(const Rule &R, const EGraph &Graph);
+
+/// Builds the dependency graph over every rule currently declared in
+/// \p Eng. Nodes of the function graph are FunctionIds of \p Graph.
+RuleGraph buildRuleGraph(const Engine &Eng, const EGraph &Graph);
+
+} // namespace egglog
+
+#endif // EGGLOG_ANALYSIS_RULEGRAPH_H

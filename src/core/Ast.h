@@ -146,6 +146,16 @@ struct Rule {
   /// The ruleset this rule belongs to; only runs that select this ruleset
   /// search the rule.
   RulesetId Ruleset = 0;
+  /// Source span of the defining form (1-based; 0 = built programmatically)
+  /// and the source-unit label active when the rule was declared, so static
+  /// analysis diagnostics point at the rule head.
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string Unit;
+  /// Surface name of each variable slot, indexed by slot; empty string for
+  /// compiler-introduced slots. May be shorter than NumSlots (treat missing
+  /// entries as unnamed) and is empty for rules built programmatically.
+  std::vector<std::string> VarNames;
 };
 
 /// A ground fact to verify with (check ...): either that a term is present

@@ -52,6 +52,11 @@ struct FunctionDecl {
   std::optional<TypedExpr> DefaultExpr;
   /// Extraction cost of one application of this function.
   int64_t Cost = 1;
+  /// Source span of the declaring form (1-based; 0 = declared from C++) and
+  /// the source-unit label active at declaration, for analysis diagnostics.
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string Unit;
 };
 
 /// Runtime record for a declared function.

@@ -79,15 +79,17 @@ bool Frontend::executeForm(const SExpr &Form) {
   if (!Form.isList() || Form.size() == 0 || !Form[0].isSymbol())
     return fail(Form, "expected a command form");
   const std::string &Head = Form[0].Text;
+  CurrentForm = &Form;
 
   // (push)/(pop) are barrier commands: popContext wholesale-replaces the
   // structures the transaction journals cover (poisoning them), and both
   // validate their arguments before touching anything, so they run outside
   // the per-command transaction.
-  if (Head == "push")
-    return execPush(Form);
-  if (Head == "pop")
-    return execPop(Form);
+  if (Head == "push" || Head == "pop") {
+    bool Ok = Head == "push" ? execPush(Form) : execPop(Form);
+    CurrentForm = nullptr;
+    return Ok;
+  }
 
   Graph.governor().arm();
   Graph.resetCheckpointBudget();
@@ -104,6 +106,7 @@ bool Frontend::executeForm(const SExpr &Form) {
   } catch (const std::bad_alloc &) {
     failKind(Form, ErrKind::Limit, "out of memory");
   }
+  CurrentForm = nullptr;
   if (Ok) {
     Graph.txnCommit();
     return true;
@@ -111,6 +114,8 @@ bool Frontend::executeForm(const SExpr &Form) {
   Graph.txnRollback(Mark);
   Eng.restore(EngineMark);
   Outputs.resize(OutputsMark);
+  // The rollback may have removed rulesets the lint bookkeeping indexed.
+  truncateLintState();
   return false;
 }
 
@@ -150,12 +155,18 @@ bool Frontend::dispatchCommand(const SExpr &Form) {
     return execSave(Form);
   if (Head == "load")
     return execLoad(Form);
+  if (Head == "check-program")
+    return execCheckProgram(Form);
   if (Head == "print-size") {
     if (Form.size() != 2 || !Form[1].isSymbol())
       return fail(Form, "usage: (print-size function)");
     FunctionId Func;
     if (!Graph.lookupFunctionName(Form[1].Text, Func))
       return fail(Form[1], "unknown function '" + Form[1].Text + "'");
+    // Analysis mode validates the lookup but skips the output: sizes from
+    // a non-executing walk would be misleading.
+    if (AnalysisMode)
+      return true;
     Outputs.push_back(Form[1].Text + ": " +
                       std::to_string(Graph.functionSize(Func)));
     return true;
@@ -210,6 +221,9 @@ bool Frontend::execDatatype(const SExpr &Form) {
     FunctionDecl Decl;
     Decl.Name = Ctor[0].Text;
     Decl.OutSort = Self;
+    Decl.Line = Ctor.Line;
+    Decl.Col = Ctor.Col;
+    Decl.Unit = UnitLabel;
     size_t ArgEnd = Ctor.size();
     // Allow a trailing :cost annotation.
     if (Ctor.size() >= 3 && isKeyword(Ctor[Ctor.size() - 2]) &&
@@ -241,6 +255,9 @@ bool Frontend::execFunction(const SExpr &Form) {
     return fail(Form, "usage: (function Name (ArgSorts...) OutSort ...)");
   FunctionDecl Decl;
   Decl.Name = Form[1].Text;
+  Decl.Line = Form.Line;
+  Decl.Col = Form.Col;
+  Decl.Unit = UnitLabel;
   FunctionId Ignored;
   if (Graph.lookupFunctionName(Decl.Name, Ignored))
     return fail(Form, "function '" + Decl.Name + "' already declared");
@@ -290,6 +307,9 @@ bool Frontend::execRelation(const SExpr &Form) {
     return fail(Form, "usage: (relation Name (ArgSorts...))");
   FunctionDecl Decl;
   Decl.Name = Form[1].Text;
+  Decl.Line = Form.Line;
+  Decl.Col = Form.Col;
+  Decl.Unit = UnitLabel;
   FunctionId Ignored;
   if (Graph.lookupFunctionName(Decl.Name, Ignored))
     return fail(Form, "function '" + Decl.Name + "' already declared");
@@ -332,13 +352,17 @@ bool Frontend::execRule(const SExpr &Form) {
       return false;
   R.Body = std::move(Ctx.Q);
   R.NumSlots = Ctx.NumSlots;
+  R.Line = Form.Line;
+  R.Col = Form.Col;
+  R.Unit = UnitLabel;
+  R.VarNames = std::move(Ctx.SlotNames);
   Eng.addRule(std::move(R));
   return true;
 }
 
-bool Frontend::makeRewriteRule(const SExpr &Lhs, const SExpr &Rhs,
-                               const SExpr *WhenList, const std::string &Name,
-                               RulesetId Ruleset) {
+bool Frontend::makeRewriteRule(const SExpr &At, const SExpr &Lhs,
+                               const SExpr &Rhs, const SExpr *WhenList,
+                               const std::string &Name, RulesetId Ruleset) {
   RuleCtx Ctx;
   Binding Root;
   if (!flattenPattern(Ctx, Lhs, InvalidSort, Root))
@@ -367,6 +391,10 @@ bool Frontend::makeRewriteRule(const SExpr &Lhs, const SExpr &Rhs,
   R.Actions.push_back(std::move(Act));
   R.Body = std::move(Ctx.Q);
   R.NumSlots = Ctx.NumSlots;
+  R.Line = At.Line;
+  R.Col = At.Col;
+  R.Unit = UnitLabel;
+  R.VarNames = std::move(Ctx.SlotNames);
   Eng.addRule(std::move(R));
   return true;
 }
@@ -387,10 +415,10 @@ bool Frontend::execRewrite(const SExpr &Form, bool Bidirectional) {
   if (auto It = Keywords.find(":ruleset"); It != Keywords.end())
     if (!parseRulesetName(*It->second, Ruleset))
       return false;
-  if (!makeRewriteRule(Form[1], Form[2], WhenList, Name, Ruleset))
+  if (!makeRewriteRule(Form, Form[1], Form[2], WhenList, Name, Ruleset))
     return false;
   if (Bidirectional &&
-      !makeRewriteRule(Form[2], Form[1], WhenList, Name, Ruleset))
+      !makeRewriteRule(Form, Form[2], Form[1], WhenList, Name, Ruleset))
     return false;
   return true;
 }
@@ -422,6 +450,9 @@ bool Frontend::execDefine(const SExpr &Form) {
   FunctionDecl Decl;
   Decl.Name = Form[1].Text;
   Decl.OutSort = Expr.Type;
+  Decl.Line = Form.Line;
+  Decl.Col = Form.Col;
+  Decl.Unit = UnitLabel;
   // Defined names are aliases; give them a prohibitive extraction cost so
   // extract prefers real terms (matching egglog's define).
   Decl.Cost = 1000000000;
@@ -454,7 +485,37 @@ bool Frontend::execRuleset(const SExpr &Form) {
   if (Eng.lookupRuleset(Form[1].Text, Existing))
     return fail(Form, "ruleset '" + Form[1].Text + "' already declared");
   Eng.declareRuleset(Form[1].Text);
+  Lint.RulesetDecls.resize(Eng.numRulesets());
+  Lint.RulesetDecls.back() = SourceSpan{UnitLabel, Form.Line, Form.Col};
   return true;
+}
+
+void Frontend::recordRunTarget(RulesetId Ruleset, bool Guarded) {
+  Lint.SawAnyRun = true;
+  if (Lint.RulesetRan.size() <= Ruleset) {
+    Lint.RulesetRan.resize(Ruleset + 1, 0);
+    Lint.RulesetRanUnguarded.resize(Ruleset + 1, 0);
+  }
+  Lint.RulesetRan[Ruleset] = 1;
+  if (!Guarded)
+    Lint.RulesetRanUnguarded[Ruleset] = 1;
+}
+
+void Frontend::recordScheduleTargets(const Schedule &S) {
+  if (S.ScheduleKind == Schedule::Kind::Run)
+    recordRunTarget(S.Ruleset, /*Guarded=*/true);
+  for (const Schedule &Child : S.Children)
+    recordScheduleTargets(Child);
+}
+
+void Frontend::truncateLintState() {
+  size_t N = Eng.numRulesets();
+  if (Lint.RulesetDecls.size() > N)
+    Lint.RulesetDecls.resize(N);
+  if (Lint.RulesetRan.size() > N) {
+    Lint.RulesetRan.resize(N);
+    Lint.RulesetRanUnguarded.resize(N);
+  }
 }
 
 bool Frontend::parseRunLeaf(const SExpr &Form, Schedule &Out,
@@ -497,6 +558,11 @@ bool Frontend::execRun(const SExpr &Form) {
   bool HasCount;
   if (!parseRunLeaf(Form, Leaf, HasCount))
     return false;
+  // An uncounted, goal-less (run ...) is run-to-saturation intent: the
+  // shape the non-termination lint treats as unguarded.
+  recordRunTarget(Leaf.Ruleset, HasCount || !Leaf.Until.empty());
+  if (AnalysisMode)
+    return true;
   // Bare count: iterate to saturation with a generous safety cap.
   if (!HasCount)
     Leaf.Times = 1000;
@@ -640,6 +706,11 @@ bool Frontend::execRunSchedule(const SExpr &Form) {
   }
   Schedule Root =
       Schedule::makeCombinator(Schedule::Kind::Seq, std::move(Children));
+  // Schedule leaves are always bounded (or saturate-wrapped), so every
+  // target counts as guarded for the non-termination lint.
+  recordScheduleTargets(Root);
+  if (AnalysisMode)
+    return true;
   LastRun = Eng.runSchedule(Root, Options);
   accumulatePhaseTotals();
   if (Graph.failed())
@@ -657,6 +728,7 @@ bool Frontend::popContext() {
   Graph.restore(Contexts.back().GraphState);
   Eng.restore(Contexts.back().EngineState);
   Contexts.pop_back();
+  truncateLintState();
   return true;
 }
 
@@ -691,6 +763,16 @@ bool Frontend::execPop(const SExpr &Form) {
 bool Frontend::execCheck(const SExpr &Form, bool ExpectFailure) {
   if (Form.size() < 2)
     return fail(Form, "usage: (check fact...)");
+  // Analysis mode typechecks the facts without consulting the database
+  // (which a non-executing walk never populated by running rules).
+  if (AnalysisMode) {
+    for (size_t I = 1; I < Form.size(); ++I) {
+      CheckFact Fact;
+      if (!typecheckCheckFact(Form[I], Fact))
+        return false;
+    }
+    return true;
+  }
   if (!ensureRebuilt())
     return false;
   for (size_t I = 1; I < Form.size(); ++I) {
@@ -712,6 +794,11 @@ bool Frontend::execCheck(const SExpr &Form, bool ExpectFailure) {
 bool Frontend::execExtract(const SExpr &Form) {
   if (Form.size() != 2 && Form.size() != 3)
     return fail(Form, "usage: (extract expr [n])");
+  if (AnalysisMode) {
+    RuleCtx Ctx;
+    TypedExpr Expr;
+    return typecheckExpr(Ctx, Form[1], InvalidSort, Expr);
+  }
   if (!ensureRebuilt())
     return false;
   RuleCtx Ctx;
@@ -745,6 +832,8 @@ bool Frontend::execExtract(const SExpr &Form) {
 bool Frontend::execSave(const SExpr &Form) {
   if (Form.size() != 2 || !Form[1].isString())
     return fail(Form, "usage: (save <file>) with a string path");
+  if (AnalysisMode)
+    return true;
   EggError Err;
   if (!saveSnapshot(Graph, Form[1].Text, Err))
     return failKind(Form, Err.Kind, Err.Message);
@@ -754,6 +843,8 @@ bool Frontend::execSave(const SExpr &Form) {
 bool Frontend::execLoad(const SExpr &Form) {
   if (Form.size() != 2 || !Form[1].isString())
     return fail(Form, "usage: (load <file>) with a string path");
+  if (AnalysisMode)
+    return true;
   // A load wholesale-replaces the tables that any open (push) context's
   // saved snapshot still describes, so it is only legal at depth zero.
   if (!Contexts.empty())
@@ -766,6 +857,22 @@ bool Frontend::execLoad(const SExpr &Form) {
   // counters that a wholesale content swap can replay onto different
   // content; drop them explicitly.
   Eng.noteExternalMutation();
+  return true;
+}
+
+RuleGraph Frontend::ruleGraph() const { return buildRuleGraph(Eng, Graph); }
+
+std::vector<LintDiagnostic> Frontend::lintProgram() const {
+  RuleGraph RG = ruleGraph();
+  return runLints(Eng, Graph, RG, Lint);
+}
+
+bool Frontend::execCheckProgram(const SExpr &Form) {
+  if (Form.size() != 1)
+    return fail(Form, "usage: (check-program)");
+  for (const LintDiagnostic &D : lintProgram())
+    Outputs.push_back("line " + std::to_string(D.Line) +
+                      ": warning: " + D.Message + " [" + D.Check + "]");
   return true;
 }
 
@@ -789,10 +896,14 @@ bool Frontend::ensureRebuilt() {
     Graph.rebuild();
   if (Graph.failed()) {
     if (ErrorMsg.empty()) {
-      ErrorMsg = Graph.errorMessage();
+      // Report at the span of the command that forced the rebuild, so the
+      // error doesn't point at "line 0".
+      unsigned Line = CurrentForm ? CurrentForm->Line : 0;
+      unsigned Col = CurrentForm ? CurrentForm->Col : 0;
+      ErrorMsg = "line " + std::to_string(Line) + ": " + Graph.errorMessage();
       ErrKind Kind = Graph.errorKind();
       LastError = EggError{Kind == ErrKind::None ? ErrKind::Runtime : Kind,
-                           Graph.errorMessage(), 0, 0};
+                           Graph.errorMessage(), Line, Col};
     }
     return false;
   }
@@ -889,6 +1000,7 @@ bool Frontend::flattenPattern(RuleCtx &Ctx, const SExpr &Pattern,
         uint32_t Slot = Ctx.freshVar(Expected);
         Out = Binding{VarOrConst::makeVar(Slot), Expected};
         Ctx.Names[Name] = Out;
+        Ctx.nameSlot(Slot, Name);
       }
     }
   } else if (Pattern.isInteger() || Pattern.isFloat() || Pattern.isString()) {
@@ -975,6 +1087,8 @@ bool Frontend::flattenQueryFact(RuleCtx &Ctx, const SExpr &Fact) {
       if (!flattenPattern(Ctx, B, InvalidSort, Rhs))
         return false;
       Ctx.Names[A.Text] = Rhs;
+      if (Rhs.Term.IsVar)
+        Ctx.nameSlot(Rhs.Term.Var, A.Text);
       return true;
     }
     if (IsFreshName(B) && !IsFreshName(A)) {
@@ -982,6 +1096,8 @@ bool Frontend::flattenQueryFact(RuleCtx &Ctx, const SExpr &Fact) {
       if (!flattenPattern(Ctx, A, InvalidSort, Lhs))
         return false;
       Ctx.Names[B.Text] = Lhs;
+      if (Lhs.Term.IsVar)
+        Ctx.nameSlot(Lhs.Term.Var, B.Text);
       return true;
     }
     // Both sides are patterns (or both fresh names, which we reject).
@@ -1213,6 +1329,7 @@ bool Frontend::typecheckAction(RuleCtx &Ctx, const SExpr &Form,
     Act.Var = Slot;
     Ctx.Names[Form[1].Text] =
         Binding{VarOrConst::makeVar(Slot), Act.Expr.Type};
+    Ctx.nameSlot(Slot, Form[1].Text);
     Out.push_back(std::move(Act));
     return true;
   }

@@ -28,6 +28,8 @@
 #ifndef EGGLOG_CORE_FRONTEND_H
 #define EGGLOG_CORE_FRONTEND_H
 
+#include "analysis/Lints.h"
+#include "analysis/RuleGraph.h"
 #include "core/EGraph.h"
 #include "core/Engine.h"
 #include "support/Errors.h"
@@ -109,6 +111,31 @@ public:
   /// Number of open contexts.
   size_t contextDepth() const { return Contexts.size(); }
 
+  //===--- static analysis (src/analysis) --------------------------------===
+
+  /// Analysis mode: declarations, rules, and top-level actions execute
+  /// normally (building the program picture, including base facts), but
+  /// run/run-schedule forms are typechecked and recorded without running,
+  /// and check/extract/save/load/print-size validate without evaluating.
+  /// The lint drivers (egglog_lint, egglog_run --lint) use this to walk a
+  /// whole program cheaply before — or instead of — executing it.
+  void setAnalysisMode(bool Enabled) { AnalysisMode = Enabled; }
+  bool analysisMode() const { return AnalysisMode; }
+
+  /// Labels subsequently executed forms with a source unit (file path);
+  /// rules and declarations record it so multi-file diagnostics point into
+  /// the right file.
+  void setSourceLabel(std::string Label) { UnitLabel = std::move(Label); }
+
+  /// Builds the rule/function dependency graph for the rules declared so
+  /// far (the foundation for the lints and for future demand/magic-set
+  /// transformation work).
+  RuleGraph ruleGraph() const;
+
+  /// Runs every lint (analysis/Lints.h) over the declared program plus the
+  /// schedule-reachability facts recorded from run forms seen so far.
+  std::vector<LintDiagnostic> lintProgram() const;
+
 private:
   EGraph Graph;
   Engine Eng;
@@ -127,6 +154,16 @@ private:
   };
   std::vector<SavedContext> Contexts;
 
+  bool AnalysisMode = false;
+  std::string UnitLabel;
+  /// Schedule-reachability facts for the lints, recorded by every
+  /// run/run-schedule form (in both modes). Monotone per ruleset, so a
+  /// rolled-back command can only make the lints more conservative.
+  LintContext Lint;
+  /// The form executeForm is currently running, for error sites that have
+  /// no SExpr of their own (ensureRebuilt); null outside executeForm.
+  const SExpr *CurrentForm = nullptr;
+
   //===--- typechecking context ------------------------------------------===
 
   /// A name binding inside a rule: either a query/let variable slot or a
@@ -143,12 +180,22 @@ private:
     std::unordered_map<std::string, Binding> Names;
     /// Total slots including action lets (starts equal to Q.NumVars).
     uint32_t NumSlots = 0;
+    /// Surface name per slot ("" for compiler-introduced slots); becomes
+    /// Rule::VarNames so the unused-variable lint can name slots.
+    std::vector<std::string> SlotNames;
 
     uint32_t freshVar(SortId Sort) {
       uint32_t Slot = Q.NumVars++;
       Q.VarSorts.push_back(Sort);
       NumSlots = std::max(NumSlots, Q.NumVars);
       return Slot;
+    }
+
+    void nameSlot(uint32_t Slot, const std::string &Name) {
+      if (SlotNames.size() <= Slot)
+        SlotNames.resize(Slot + 1);
+      if (SlotNames[Slot].empty())
+        SlotNames[Slot] = Name;
     }
   };
 
@@ -183,12 +230,22 @@ private:
   bool execExtract(const SExpr &Form);
   bool execSave(const SExpr &Form);
   bool execLoad(const SExpr &Form);
+  bool execCheckProgram(const SExpr &Form);
   bool execTopLevelAction(const SExpr &Form);
+
+  /// Records that a run form selects \p Ruleset; \p Guarded is false only
+  /// for a top-level (run ...) with neither a count nor :until.
+  void recordRunTarget(RulesetId Ruleset, bool Guarded);
+  /// Records every Run leaf of a schedule tree (always guarded: schedule
+  /// leaves are bounded or saturate-wrapped).
+  void recordScheduleTargets(const Schedule &S);
+  /// Drops lint bookkeeping for rulesets a rollback or (pop) removed.
+  void truncateLintState();
 
   /// Folds LastRun into Totals (called after every engine run).
   void accumulatePhaseTotals();
 
-  bool makeRewriteRule(const SExpr &Lhs, const SExpr &Rhs,
+  bool makeRewriteRule(const SExpr &At, const SExpr &Lhs, const SExpr &Rhs,
                        const SExpr *WhenList, const std::string &Name,
                        RulesetId Ruleset);
 

@@ -1,0 +1,209 @@
+//===- tests/analysis/RuleGraphTest.cpp - dependency graph tests ----------===//
+//
+// Part of egglog-cpp. DepGraph SCC/stratification on hand-built graphs,
+// and RuleFacts extraction (reads/writes/mints, union-root exclusion)
+// through the Frontend.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RuleGraph.h"
+#include "core/Frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace egglog;
+
+namespace {
+
+TEST(DepGraphTest, SccsAndStrataOnMixedGraph) {
+  // 0 <-> 1 (two-node cycle), 1 -> 2 (self-loop), 2 -> 3 -> 4 (chain),
+  // 5 isolated.
+  DepGraph G(6);
+  G.addEdge(0, 1);
+  G.addEdge(1, 0);
+  G.addEdge(1, 2);
+  G.addEdge(2, 2);
+  G.addEdge(2, 3);
+  G.addEdge(3, 4);
+  G.analyze();
+
+  EXPECT_EQ(G.numNodes(), 6u);
+  EXPECT_EQ(G.numSccs(), 5u);
+  EXPECT_TRUE(G.sameScc(0, 1));
+  EXPECT_FALSE(G.sameScc(1, 2));
+  EXPECT_FALSE(G.sameScc(3, 4));
+  EXPECT_EQ(G.sccMembers(G.sccOf(0)).size(), 2u);
+
+  // Cyclic: the two-node component and the self-loop; the chain nodes and
+  // the isolated node are acyclic singletons.
+  EXPECT_TRUE(G.sccIsCyclic(G.sccOf(0)));
+  EXPECT_TRUE(G.sccIsCyclic(G.sccOf(2)));
+  EXPECT_FALSE(G.sccIsCyclic(G.sccOf(3)));
+  EXPECT_FALSE(G.sccIsCyclic(G.sccOf(4)));
+  EXPECT_FALSE(G.sccIsCyclic(G.sccOf(5)));
+
+  // Longest-path layering of the condensation.
+  EXPECT_EQ(G.stratumOf(0), 0u);
+  EXPECT_EQ(G.stratumOf(1), 0u);
+  EXPECT_EQ(G.stratumOf(2), 1u);
+  EXPECT_EQ(G.stratumOf(3), 2u);
+  EXPECT_EQ(G.stratumOf(4), 3u);
+  EXPECT_EQ(G.stratumOf(5), 0u);
+  EXPECT_EQ(G.numStrata(), 4u);
+}
+
+TEST(DepGraphTest, DiamondIsAcyclicWithThreeStrata) {
+  DepGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  G.addEdge(1, 3);
+  G.addEdge(2, 3);
+  G.analyze();
+
+  EXPECT_EQ(G.numSccs(), 4u);
+  for (uint32_t N = 0; N < 4; ++N)
+    EXPECT_FALSE(G.sccIsCyclic(G.sccOf(N))) << "node " << N;
+  EXPECT_EQ(G.stratumOf(0), 0u);
+  EXPECT_EQ(G.stratumOf(1), 1u);
+  EXPECT_EQ(G.stratumOf(2), 1u);
+  EXPECT_EQ(G.stratumOf(3), 2u);
+  EXPECT_EQ(G.numStrata(), 3u);
+}
+
+TEST(DepGraphTest, DuplicateEdgesAndEmptyGraph) {
+  DepGraph Empty;
+  Empty.analyze();
+  EXPECT_EQ(Empty.numNodes(), 0u);
+  EXPECT_EQ(Empty.numSccs(), 0u);
+  EXPECT_EQ(Empty.numStrata(), 0u);
+
+  DepGraph G(2);
+  G.addEdge(0, 1);
+  G.addEdge(0, 1);
+  G.addEdge(0, 1);
+  G.analyze();
+  EXPECT_EQ(G.numSccs(), 2u);
+  EXPECT_EQ(G.stratumOf(1), 1u);
+}
+
+//===--------------------------------------------------------------------===//
+// RuleFacts through the Frontend
+//===--------------------------------------------------------------------===//
+
+class RuleFactsTest : public ::testing::Test {
+protected:
+  Frontend F;
+
+  void load(const std::string &Source) {
+    F.setAnalysisMode(true);
+    ASSERT_TRUE(F.execute(Source)) << F.error();
+  }
+
+  FunctionId fid(const char *Name) {
+    FunctionId Id = 0;
+    EXPECT_TRUE(F.graph().lookupFunctionName(Name, Id)) << Name;
+    return Id;
+  }
+
+  static bool contains(const std::vector<FunctionId> &Set, FunctionId Id) {
+    return std::find(Set.begin(), Set.end(), Id) != Set.end();
+  }
+};
+
+TEST_F(RuleFactsTest, ReadsWritesAndMints) {
+  load("(datatype N (Z) (S N))\n"
+       "(relation r (i64))\n"
+       "(rule ((S m) (r x)) ((S (S m))))\n");
+  RuleGraph RG = F.ruleGraph();
+  ASSERT_EQ(RG.Rules.size(), 1u);
+  const RuleFacts &Facts = RG.Rules[0];
+
+  EXPECT_TRUE(contains(Facts.Reads, fid("S")));
+  EXPECT_TRUE(contains(Facts.Reads, fid("r")));
+  EXPECT_FALSE(contains(Facts.Writes, fid("r")));
+  EXPECT_TRUE(contains(Facts.Writes, fid("S")));
+  // (S (S m)) in an eval action mints: id-sorted output, no :default,
+  // one key column, and not a captured union root.
+  EXPECT_TRUE(contains(Facts.Mints, fid("S")));
+}
+
+TEST_F(RuleFactsTest, UnionRootIsWrittenButNotMinted) {
+  load("(datatype N (Z) (S N))\n"
+       "(rule ((= e (S m))) ((union e (S m))))\n");
+  RuleGraph RG = F.ruleGraph();
+  ASSERT_EQ(RG.Rules.size(), 1u);
+  const RuleFacts &Facts = RG.Rules[0];
+  // The root of a union operand is matched into the equivalence class, not
+  // allocated fresh — it must count as a write but not as a mint.
+  EXPECT_TRUE(contains(Facts.Writes, fid("S")));
+  EXPECT_TRUE(Facts.Mints.empty());
+}
+
+TEST_F(RuleFactsTest, NestedCallUnderUnionRootStillMints) {
+  load("(datatype N (Z) (S N))\n"
+       "(rule ((= e (S m))) ((union e (S (S m)))))\n");
+  RuleGraph RG = F.ruleGraph();
+  ASSERT_EQ(RG.Rules.size(), 1u);
+  // The outer (S ...) is the captured root, but the inner (S m) is a fresh
+  // subterm the action allocates each firing.
+  EXPECT_TRUE(contains(RG.Rules[0].Mints, fid("S")));
+}
+
+TEST_F(RuleFactsTest, NullaryAndDefaultedFunctionsDoNotMint) {
+  load("(datatype N (Z) (S N))\n"
+       "(function counter () i64 :default 0)\n"
+       "(rule ((S m)) ((set (counter) 1) (Z)))\n");
+  RuleGraph RG = F.ruleGraph();
+  ASSERT_EQ(RG.Rules.size(), 1u);
+  const RuleFacts &Facts = RG.Rules[0];
+  // counter: primitive output, no keys; Z: no key columns. Neither can
+  // allocate unboundedly many fresh ids.
+  EXPECT_TRUE(Facts.Mints.empty());
+  EXPECT_TRUE(contains(Facts.Writes, fid("counter")));
+  EXPECT_TRUE(contains(Facts.Writes, fid("Z")));
+}
+
+TEST_F(RuleFactsTest, TransitiveClosureStratifiesBelowItsInput) {
+  load("(relation edge (i64 i64))\n"
+       "(relation path (i64 i64))\n"
+       "(rule ((edge x y)) ((path x y)))\n"
+       "(rule ((path x y) (path y z)) ((path x z)))\n");
+  RuleGraph RG = F.ruleGraph();
+  FunctionId Edge = fid("edge"), Path = fid("path");
+
+  // path depends on itself (transitivity) and on edge; edge on nothing.
+  EXPECT_TRUE(RG.Funcs.sccIsCyclic(RG.Funcs.sccOf(Path)));
+  EXPECT_FALSE(RG.Funcs.sccIsCyclic(RG.Funcs.sccOf(Edge)));
+  EXPECT_FALSE(RG.Funcs.sameScc(Edge, Path));
+  EXPECT_EQ(RG.Funcs.stratumOf(Edge), 0u);
+  EXPECT_EQ(RG.Funcs.stratumOf(Path), 1u);
+}
+
+TEST_F(RuleFactsTest, SlotUsesCountQueryAndActionOccurrences) {
+  load("(datatype Math (Num i64) (Add Math Math))\n"
+       "(rule ((= e (Add a b)))\n"
+       "      ((let s (Add b a))\n"
+       "       (union e (Add a b))))\n");
+  RuleGraph RG = F.ruleGraph();
+  ASSERT_EQ(RG.Rules.size(), 1u);
+  const Rule &R = F.engine().rule(RG.Rules[0].RuleIndex);
+  const RuleFacts &Facts = RG.Rules[0];
+
+  // Find the slot for each surface name via Rule::VarNames.
+  auto slotOf = [&](const std::string &Name) -> uint32_t {
+    for (uint32_t I = 0; I < R.VarNames.size(); ++I)
+      if (R.VarNames[I] == Name)
+        return I;
+    ADD_FAILURE() << "no slot named " << Name;
+    return 0;
+  };
+  // 'a' and 'b' are used twice in actions; 'e' once; the let 's' never.
+  EXPECT_GE(Facts.SlotUses[slotOf("a")], 2u);
+  EXPECT_GE(Facts.SlotUses[slotOf("b")], 2u);
+  EXPECT_GE(Facts.SlotUses[slotOf("e")], 1u);
+  EXPECT_EQ(Facts.SlotUses[slotOf("s")], 0u);
+}
+
+} // namespace

@@ -107,6 +107,8 @@ const std::map<std::string, ErrorCase> &usageCases() {
        {"", "(save)", "usage: (save"}},
       {"usage: (load <file>) with a string path",
        {"", "(load unquoted)", "usage: (load"}},
+      {"usage: (check-program)",
+       {"", "(check-program 1)", "usage: (check-program)"}},
   };
   return Cases;
 }
@@ -134,6 +136,44 @@ TEST(ErrorPathTest, EveryUsageStringHasACoveringCase) {
   for (const std::string &Usage : Found)
     EXPECT_TRUE(usageCases().count(Usage))
         << "no error-path case covers: " << Usage;
+}
+
+// Census over the command-line tools: every flag a tool's argv loop
+// matches must appear in its --help usage text. Adding a flag without
+// documenting it fails this test.
+TEST(ErrorPathTest, EveryToolFlagIsDocumentedInItsUsageText) {
+  const char *Tools[] = {EGGLOG_SOURCE_DIR "/tools/egglog_run.cpp",
+                         EGGLOG_SOURCE_DIR "/tools/egglog_lint.cpp"};
+  for (const char *Path : Tools) {
+    SCOPED_TRACE(Path);
+    std::ifstream Stream(Path);
+    ASSERT_TRUE(Stream.is_open());
+    std::stringstream Buffer;
+    Buffer << Stream.rdbuf();
+    std::string Source = Buffer.str();
+
+    // Flags are matched as std::strcmp(argv[I], "--flag") == 0.
+    std::set<std::string> Flags;
+    const std::string Needle = "argv[I], \"";
+    for (size_t Pos = Source.find(Needle); Pos != std::string::npos;
+         Pos = Source.find(Needle, Pos + 1)) {
+      size_t Start = Pos + Needle.size();
+      size_t End = Source.find('"', Start);
+      ASSERT_NE(End, std::string::npos);
+      Flags.insert(Source.substr(Start, End - Start));
+    }
+    ASSERT_GE(Flags.size(), 2u);
+
+    size_t UsageStart = Source.find("\"usage: egglog-");
+    ASSERT_NE(UsageStart, std::string::npos);
+    std::string UsageText = Source.substr(UsageStart);
+    for (const std::string &Flag : Flags) {
+      if (Flag == "--help")
+        continue; // --help prints the text; listing itself is optional
+      EXPECT_NE(UsageText.find(Flag), std::string::npos)
+          << "flag " << Flag << " missing from the usage text";
+    }
+  }
 }
 
 TEST(ErrorPathTest, EveryUsageCaseTriggersItsMessage) {

@@ -1,0 +1,61 @@
+# RunLintGolden.cmake — golden-file driver for lint diagnostics.
+#
+# Runs TOOL (egglog_lint or egglog_run) with TOOL_ARGS on PROGRAM from the
+# program's own directory (bare filename, so diagnostic labels stay
+# relative), captures stderr to OUTPUT, and compares it byte-for-byte
+# against EXPECTED. The exit code must equal EXPECTED_EXIT when given;
+# otherwise 1 when EXPECTED is non-empty (egglog_lint --Werror fixtures)
+# and 0 when it is empty (clean fixtures). To regenerate an expectation
+# after an intentional change:
+#
+#   (cd tests/integration/lint && \
+#    ../../../build/egglog_lint --Werror X.egg 2> X.expected)
+
+foreach(var TOOL PROGRAM EXPECTED OUTPUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "RunLintGolden.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+get_filename_component(program_dir ${PROGRAM} DIRECTORY)
+get_filename_component(program_name ${PROGRAM} NAME)
+
+# TOOL_ARGS uses "|" as its separator: a ";" would be list-split (or need
+# escaping that survives two command lines) before reaching this script.
+set(tool_args "")
+if(DEFINED TOOL_ARGS)
+  string(REPLACE "|" ";" tool_args "${TOOL_ARGS}")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} ${tool_args} ${program_name}
+  WORKING_DIRECTORY ${program_dir}
+  OUTPUT_QUIET
+  ERROR_FILE ${OUTPUT}
+  RESULT_VARIABLE run_result)
+
+if(NOT DEFINED EXPECTED_EXIT)
+  file(READ ${EXPECTED} expected_text)
+  if(expected_text STREQUAL "")
+    set(EXPECTED_EXIT 0)
+  else()
+    set(EXPECTED_EXIT 1)
+  endif()
+endif()
+if(NOT run_result EQUAL ${EXPECTED_EXIT})
+  file(READ ${OUTPUT} actual_text)
+  message(FATAL_ERROR "lint driver exited ${run_result} (expected "
+                      "${EXPECTED_EXIT}) on ${PROGRAM}\n"
+                      "--- stderr:\n${actual_text}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUTPUT} ${EXPECTED}
+  RESULT_VARIABLE diff_result)
+if(NOT diff_result EQUAL 0)
+  file(READ ${EXPECTED} expected_text)
+  file(READ ${OUTPUT} actual_text)
+  message(FATAL_ERROR "lint golden mismatch for ${PROGRAM}\n"
+                      "--- expected (${EXPECTED}):\n${expected_text}"
+                      "--- actual (${OUTPUT}):\n${actual_text}")
+endif()

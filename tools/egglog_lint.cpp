@@ -1,0 +1,127 @@
+//===- tools/egglog_lint.cpp - Static analyzer for .egg programs --------------===//
+//
+// Part of egglog-cpp. Walks egglog programs in analysis mode — declarations,
+// rules, and ground facts execute; run/check/extract/save/load are
+// typechecked but skipped — then runs the static lints (src/analysis) over
+// the declared rule program: the rule/function dependency graph, its SCCs
+// and stratification, and the diagnostics built on them.
+//
+// Usage: egglog-lint [file.egg ...]    lint programs (stdin when no files)
+//        egglog-lint --Werror ...      treat warnings as errors (exit 1)
+//
+// Multiple files accumulate into one program (library file + driver file),
+// and the analysis runs once at the end over the combined picture.
+// Diagnostics go to stderr, one per line, in the same format as
+// egglog_run's errors: "file:line:col: warning: message [check-name]".
+// Exit codes: 0 clean, 1 on any program error or (with --Werror) on any
+// diagnostic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Frontend.h"
+#include "support/Errors.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace egglog;
+
+namespace {
+
+void reportError(const std::string &Label, const EggError &E,
+                 const std::string &Fallback) {
+  const char *Kind = errKindName(E.Kind == ErrKind::None ? ErrKind::Runtime
+                                                         : E.Kind);
+  const std::string &Message = E.Message.empty() ? Fallback : E.Message;
+  if (E.Line > 0)
+    std::fprintf(stderr, "%s:%u:%u: %s: %s\n", Label.c_str(), E.Line, E.Col,
+                 Kind, Message.c_str());
+  else
+    std::fprintf(stderr, "%s: %s: %s\n", Label.c_str(), Kind,
+                 Message.c_str());
+}
+
+/// Walks one program unit in analysis mode, form by form (batch style:
+/// every failing form is reported and the walk continues, so one bad
+/// command doesn't hide the rest of the picture). Returns 0 or 1.
+int walkUnit(Frontend &F, const std::string &Source,
+             const std::string &Label) {
+  F.setSourceLabel(Label);
+  ParseResult Parsed = parseSExprs(Source);
+  if (!Parsed.Ok) {
+    EggError E{ErrKind::Parse, Parsed.Error, Parsed.ErrorLine,
+               Parsed.ErrorCol};
+    reportError(Label, E, Parsed.Error);
+    return 1;
+  }
+  int Status = 0;
+  for (const SExpr &Form : Parsed.Forms)
+    if (!F.executeForm(Form)) {
+      reportError(Label, F.lastError(), F.error());
+      Status = 1;
+    }
+  return Status;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Werror = false;
+  std::vector<std::string> Files;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--Werror") == 0)
+      Werror = true;
+    else if (std::strcmp(argv[I], "--help") == 0) {
+      std::printf(
+          "usage: egglog-lint [--Werror] [file.egg ...]\n"
+          "Statically analyzes egglog programs without running them:\n"
+          "dependency graph, stratification, and lints (non-termination\n"
+          "risk, dead rules, unused rulesets, shadowed rules, unused\n"
+          "variables, non-idempotent :merge). Reads stdin when no files\n"
+          "are given; multiple files accumulate into one program.\n"
+          "Diagnostics: \"file:line:col: warning: message [check]\".\n"
+          "exit codes: 0 clean, 1 program error or (--Werror) warnings\n");
+      return 0;
+    } else {
+      Files.push_back(argv[I]);
+    }
+  }
+
+  Frontend F;
+  F.setAnalysisMode(true);
+  int Status = 0;
+  if (Files.empty()) {
+    std::string Source(std::istreambuf_iterator<char>(std::cin.rdbuf()), {});
+    Status = walkUnit(F, Source, "<stdin>");
+  } else {
+    for (const std::string &Path : Files) {
+      std::ifstream Stream(Path);
+      if (!Stream) {
+        EggError E{ErrKind::IO, "cannot open file", 0, 0};
+        reportError(Path, E, "cannot open file");
+        Status = 1;
+        continue;
+      }
+      std::stringstream Buffer;
+      Buffer << Stream.rdbuf();
+      Status = std::max(Status, walkUnit(F, Buffer.str(), Path));
+    }
+  }
+
+  std::vector<LintDiagnostic> Diags = F.lintProgram();
+  for (const LintDiagnostic &D : Diags) {
+    const std::string &Unit = D.Unit.empty()
+                                  ? (Files.empty() ? "<stdin>" : Files.back())
+                                  : D.Unit;
+    std::fprintf(stderr, "%s:%s\n", Unit.c_str(), D.render().c_str());
+  }
+  if (Werror && !Diags.empty())
+    Status = std::max(Status, 1);
+  return Status;
+}

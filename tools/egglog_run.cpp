@@ -13,6 +13,8 @@
 //        egglog-run --timeout S ...        per-command wall-clock budget
 //        egglog-run --max-memory MB ...    approximate memory ceiling
 //        egglog-run --keep-going ...       report errors, keep executing
+//        egglog-run --lint ...             static-analysis pre-pass per file
+//        egglog-run --Werror ...           lint diagnostics fail the run
 //        egglog-run --stats ...            dump per-phase timing at exit
 //        egglog-run --extract ...          dump extraction-cache stats at exit
 //        egglog-run --snapshot-in F ...    load a database snapshot first
@@ -37,6 +39,7 @@
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -123,6 +126,45 @@ void dumpExtractStats(Frontend &F) {
                static_cast<unsigned long long>(St.MergesFolded));
 }
 
+/// The --lint pre-pass: a mirror Frontend walks each file in analysis mode
+/// (declarations and facts execute, run/check/extract are typechecked but
+/// skipped) before the real Frontend runs it, and the static lints
+/// (src/analysis) report on the accumulated program. Pre-pass execution
+/// errors are suppressed — the real pass reports them with proper exit
+/// codes, including exit 1 for files that only fail to parse. Diagnostics
+/// are deduplicated by rendered line, so a library file included in every
+/// pre-pass reports each finding once.
+class LintPrePass {
+public:
+  /// Returns the lint contribution to the exit status: 1 when Werror and
+  /// new diagnostics appeared, else 0.
+  int runOn(const std::string &Source, const std::string &Label,
+            bool Werror) {
+    Mirror.setAnalysisMode(true);
+    Mirror.setSourceLabel(Label);
+    ParseResult Parsed = parseSExprs(Source);
+    if (!Parsed.Ok)
+      return 0;
+    for (const SExpr &Form : Parsed.Forms)
+      Mirror.executeForm(Form);
+    int Status = 0;
+    for (const LintDiagnostic &D : Mirror.lintProgram()) {
+      std::string Line =
+          (D.Unit.empty() ? Label : D.Unit) + ":" + D.render();
+      if (!Seen.insert(Line).second)
+        continue;
+      std::fprintf(stderr, "%s\n", Line.c_str());
+      if (Werror)
+        Status = 1;
+    }
+    return Status;
+  }
+
+private:
+  Frontend Mirror;
+  std::set<std::string> Seen;
+};
+
 /// Runs (load "path") / (save "path") through the normal command path, so
 /// snapshot I/O gets the same transactional rollback and io-kind error
 /// reporting as in-program commands. The form is built directly (not
@@ -146,6 +188,8 @@ int main(int argc, char **argv) {
   bool Stats = false;
   bool ExtractStats = false;
   bool KeepGoing = false;
+  bool LintMode = false;
+  bool Werror = false;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--no-seminaive") == 0)
       F.runOptions().SemiNaive = false;
@@ -157,6 +201,10 @@ int main(int argc, char **argv) {
       ExtractStats = true;
     else if (std::strcmp(argv[I], "--keep-going") == 0)
       KeepGoing = true;
+    else if (std::strcmp(argv[I], "--lint") == 0)
+      LintMode = true;
+    else if (std::strcmp(argv[I], "--Werror") == 0)
+      Werror = true;
     else if (std::strcmp(argv[I], "--threads") == 0) {
       int N = I + 1 < argc ? std::atoi(argv[++I]) : 0;
       if (N < 1) {
@@ -196,10 +244,14 @@ int main(int argc, char **argv) {
       std::printf(
           "usage: egglog-run [--no-seminaive] [--backoff] [--threads N]\n"
           "                  [--timeout S] [--max-memory MB] [--keep-going]\n"
-          "                  [--stats] [--extract] [--snapshot-in F]\n"
-          "                  [--snapshot-out F] [file.egg ...]\n"
+          "                  [--lint] [--Werror] [--stats] [--extract]\n"
+          "                  [--snapshot-in F] [--snapshot-out F]\n"
+          "                  [file.egg ...]\n"
           "--snapshot-in loads a database snapshot before the programs run;\n"
           "--snapshot-out saves one after they all succeed.\n"
+          "--lint runs the static-analysis pre-pass over each file before\n"
+          "executing it (diagnostics on stderr); --Werror makes lint\n"
+          "diagnostics fail the run.\n"
           "exit codes: 0 success, 1 user error, 2 limit/cancelled, "
           "3 internal\n");
       return 0;
@@ -214,9 +266,12 @@ int main(int argc, char **argv) {
     if (Status)
       return Status;
   }
+  LintPrePass Lint;
   if (Files.empty()) {
     std::string Source(std::istreambuf_iterator<char>(std::cin.rdbuf()), {});
-    Status = runProgram(F, Source, "<stdin>", KeepGoing);
+    if (LintMode)
+      Status = std::max(Status, Lint.runOn(Source, "<stdin>", Werror));
+    Status = std::max(Status, runProgram(F, Source, "<stdin>", KeepGoing));
   } else {
     for (const std::string &Path : Files) {
       std::ifstream Stream(Path);
@@ -230,6 +285,11 @@ int main(int argc, char **argv) {
       }
       std::stringstream Buffer;
       Buffer << Stream.rdbuf();
+      // The lint pre-pass runs once per file regardless of --keep-going;
+      // its own errors stay silent (the real pass below reports them, and
+      // a file that only fails to parse exits 1 through that path).
+      if (LintMode)
+        Status = std::max(Status, Lint.runOn(Buffer.str(), Path, Werror));
       int FileStatus = runProgram(F, Buffer.str(), Path, KeepGoing);
       Status = std::max(Status, FileStatus);
       if (Status && !KeepGoing)
